@@ -1,0 +1,150 @@
+// Command kvbench regenerates the paper's Table 1: memcached-style
+// key-value store scalability under every lock, for read-heavy
+// (90% get), mixed (50%) and write-heavy (10% get) workloads. Each
+// cell is the speedup over the single-threaded pthread-lock run of the
+// same mix, exactly as the paper normalizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/kvload"
+	"repro/internal/kvstore"
+	"repro/internal/numa"
+	"repro/internal/registry"
+	"repro/internal/stats"
+)
+
+type options struct {
+	mixes    []int
+	threads  []int
+	locks    []string
+	clusters int
+	duration time.Duration
+	keyspace uint64
+	csv      bool
+}
+
+func main() {
+	var (
+		mixFlag      = flag.String("mix", "all", "get percentage: 90, 50, 10 or all")
+		threadsFlag  = flag.String("threads", "1,4,8,16,32,64,96,128", "comma-separated thread counts (paper's rows)")
+		locksFlag    = flag.String("locks", "", "override lock list (default: the paper's Table 1 columns)")
+		clustersFlag = flag.Int("clusters", 4, "NUMA clusters to simulate")
+		durationFlag = flag.Duration("duration", 300*time.Millisecond, "measurement window per cell")
+		keysFlag     = flag.Uint64("keys", 50_000, "distinct keys (pre-populated)")
+		csvFlag      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	opt := options{
+		clusters: *clustersFlag,
+		duration: *durationFlag,
+		keyspace: *keysFlag,
+		csv:      *csvFlag,
+		locks:    cli.ParseNameList(*locksFlag),
+	}
+	switch *mixFlag {
+	case "all":
+		opt.mixes = []int{90, 50, 10}
+	case "90", "50", "10":
+		opt.mixes = []int{atoi(*mixFlag)}
+	default:
+		fmt.Fprintf(os.Stderr, "kvbench: -mix must be 90, 50, 10 or all\n")
+		os.Exit(2)
+	}
+	threads, err := cli.ParseIntList(*threadsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvbench: bad -threads: %v\n", err)
+		os.Exit(2)
+	}
+	opt.threads = threads
+	if len(opt.locks) == 0 {
+		opt.locks = registry.TableNames()
+	}
+	if err := run(opt); err != nil {
+		fmt.Fprintf(os.Stderr, "kvbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func atoi(s string) int {
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func run(opt options) error {
+	maxThreads := 0
+	for _, t := range opt.threads {
+		if t > maxThreads {
+			maxThreads = t
+		}
+	}
+	topo := numa.New(opt.clusters, maxThreads)
+
+	for _, mix := range opt.mixes {
+		if err := runMix(opt, topo, mix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measure runs one (lock, threads, mix) cell against a fresh store.
+func measure(opt options, topo *numa.Topology, lockName string, threads, getPct int) (float64, error) {
+	e, ok := registry.Lookup(lockName)
+	if !ok || e.NewMutex == nil {
+		return 0, fmt.Errorf("unknown or non-blocking lock %q", lockName)
+	}
+	store := kvstore.New(kvstore.Config{
+		Topo: topo,
+		Lock: e.NewMutex(topo),
+	})
+	kvload.Populate(store, topo.Proc(0), opt.keyspace, 128)
+	runtime.GC() // population litters the heap; keep GC out of the window
+	cfg := kvload.DefaultConfig(topo, threads, getPct)
+	cfg.Duration = opt.duration
+	cfg.Keyspace = opt.keyspace
+	res, err := kvload.Run(cfg, store)
+	if err != nil {
+		return 0, fmt.Errorf("%s @%d: %w", lockName, threads, err)
+	}
+	return res.Throughput(), nil
+}
+
+func runMix(opt options, topo *numa.Topology, getPct int) error {
+	// Baseline: pthread at one thread, the paper's normalization unit.
+	base, err := measure(opt, topo, "pthread", 1, getPct)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mix %d%% gets: pthread@1 baseline %.0f ops/s\n", getPct, base)
+
+	title := fmt.Sprintf("Table 1 (%d%% gets / %d%% sets): speedup over pthread@1",
+		getPct, 100-getPct)
+	headers := append([]string{"threads"}, opt.locks...)
+	tb := stats.NewTable(title, headers...)
+	for _, n := range opt.threads {
+		row := []string{fmt.Sprint(n)}
+		for _, name := range opt.locks {
+			tp, err := measure(opt, topo, name, n, getPct)
+			if err != nil {
+				return err
+			}
+			row = append(row, stats.F(stats.Speedup(base, tp), 2))
+			fmt.Fprintf(os.Stderr, "ran mix=%d%% %-10s threads=%-4d %.0f ops/s\n", getPct, name, n, tp)
+		}
+		tb.AddRow(row...)
+	}
+	fmt.Print(cli.Emit(tb, opt.csv))
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,217 @@
+// Package cohort is a Go implementation of lock cohorting, the general
+// technique for building NUMA-aware locks of Dice, Marathe and Shavit
+// (PPoPP 2012), together with the seven cohort locks the paper
+// presents: C-BO-BO, C-TKT-TKT, C-BO-MCS, C-TKT-MCS, C-MCS-MCS and the
+// abortable A-C-BO-BO and A-C-BO-CLH.
+//
+// # Model
+//
+// A cohort lock composes a thread-oblivious global lock with one
+// cohort-detecting local lock per NUMA cluster. Threads acquire their
+// cluster's local lock and, only when the hand-off state requires it,
+// the global lock; a releaser that detects waiting same-cluster
+// threads passes ownership within the cluster without touching the
+// global lock. Long runs of same-cluster critical sections keep both
+// lock metadata and the data the critical section touches in the
+// cluster's cache, which is where the scalability comes from.
+//
+// Because Go's runtime hides OS threads, cluster identity is explicit:
+// a Topology declares the cluster layout, and each worker goroutine
+// holds a *Proc handle that fixes its cluster and supplies the
+// per-thread state queue locks need. All lock operations take the
+// Proc. One goroutine per Proc at a time; Procs are reusable after a
+// goroutine finishes.
+//
+// # Quick start
+//
+//	topo := cohort.NewTopology(4, 16) // 4 clusters, up to 16 workers
+//	lock := cohort.NewCBOMCS(topo)
+//	for i := 0; i < 16; i++ {
+//	    go func(p *cohort.Proc) {
+//	        lock.Lock(p)
+//	        // critical section
+//	        lock.Unlock(p)
+//	    }(topo.Proc(i))
+//	}
+//
+// # Building custom cohort locks
+//
+// The transformation is generic: any lock satisfying GlobalLock
+// (thread-oblivious) can be combined with per-cluster locks satisfying
+// LocalLock (cohort-detecting) via New; abortable variants compose via
+// NewAbortable. See examples/custom for a complete program.
+package cohort
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/numa"
+)
+
+// Topology describes the simulated NUMA machine: a number of symmetric
+// clusters and a bound on concurrent workers.
+type Topology = numa.Topology
+
+// Proc is one logical processor handle; every lock operation requires
+// the calling goroutine's Proc.
+type Proc = numa.Proc
+
+// NewTopology returns a topology with the given cluster count and
+// maximum worker count, assigning procs to clusters round-robin.
+func NewTopology(clusters, maxProcs int) *Topology {
+	return numa.New(clusters, maxProcs)
+}
+
+// Lock is a mutual-exclusion lock operating on Proc handles.
+type Lock interface {
+	Lock(p *Proc)
+	Unlock(p *Proc)
+}
+
+// TryLock is an abortable lock: TryLockFor gives up (returning false)
+// once patience expires.
+type TryLock interface {
+	TryLockFor(p *Proc, patience time.Duration) bool
+	Unlock(p *Proc)
+}
+
+// Release is the hand-off state a cohort local lock is released in;
+// see the package documentation of the transformation.
+type Release = core.Release
+
+// Hand-off states.
+const (
+	// ReleaseGlobal: the global lock was released; the next local
+	// owner must acquire it.
+	ReleaseGlobal = core.ReleaseGlobal
+	// ReleaseLocal: the next local owner inherits the global lock.
+	ReleaseLocal = core.ReleaseLocal
+)
+
+// GlobalLock is the contract for the global component of a cohort
+// lock: mutual exclusion whose unlock may run on a different thread
+// than the matching lock.
+type GlobalLock = core.Global
+
+// LocalLock is the contract for the per-cluster component: Lock
+// reports the inherited release state, Unlock releases in a given
+// state, and Alone implements the paper's cohort-detection predicate
+// (false positives allowed, false negatives forbidden).
+type LocalLock = core.Local
+
+// AbortableGlobalLock and AbortableLocalLock are the strengthened
+// contracts for abortable cohort locks (paper §3.6); see
+// internal/core documentation for the exact viable-successor rules.
+type (
+	AbortableGlobalLock = core.AbortableGlobal
+	AbortableLocalLock  = core.AbortableLocal
+)
+
+// CohortLock is the generic cohort lock; it satisfies Lock.
+type CohortLock = core.CohortLock
+
+// AbortableCohortLock is the generic abortable cohort lock; it
+// satisfies TryLock.
+type AbortableCohortLock = core.AbortableCohortLock
+
+// Option configures a cohort lock.
+type Option = core.Option
+
+// DefaultHandoffLimit is the paper's bound (64) on consecutive local
+// hand-offs before the global lock must be released for fairness.
+const DefaultHandoffLimit = core.DefaultHandoffLimit
+
+// WithHandoffLimit overrides the hand-off bound: n > 0 sets the bound,
+// n < 0 removes it (maximum throughput, unbounded unfairness).
+func WithHandoffLimit(n int64) Option { return core.WithHandoffLimit(n) }
+
+// New assembles a cohort lock from a thread-oblivious global lock and
+// a per-cluster local lock factory — the paper's transformation,
+// directly. newLocal is called once per cluster.
+func New(topo *Topology, global GlobalLock, newLocal func(cluster int) LocalLock, opts ...Option) *CohortLock {
+	return core.NewCohortLock(topo, global, newLocal, opts...)
+}
+
+// NewAbortable assembles an abortable cohort lock; see New.
+func NewAbortable(topo *Topology, global AbortableGlobalLock, newLocal func(cluster int) AbortableLocalLock, opts ...Option) *AbortableCohortLock {
+	return core.NewAbortableCohortLock(topo, global, newLocal, opts...)
+}
+
+// NewCBOBO returns the paper's C-BO-BO lock: global backoff lock over
+// per-cluster backoff locks (§3.1).
+func NewCBOBO(topo *Topology, opts ...Option) *CohortLock {
+	return core.NewCBOBO(topo, opts...)
+}
+
+// NewCTKTTKT returns the paper's C-TKT-TKT lock: ticket locks at both
+// levels (§3.2). FIFO-fair within its hand-off budget.
+func NewCTKTTKT(topo *Topology, opts ...Option) *CohortLock {
+	return core.NewCTKTTKT(topo, opts...)
+}
+
+// NewCBOMCS returns the paper's C-BO-MCS lock: global backoff lock
+// over per-cluster MCS queue locks (§3.3) — the best scaling
+// construction in the paper's evaluation.
+func NewCBOMCS(topo *Topology, opts ...Option) *CohortLock {
+	return core.NewCBOMCS(topo, opts...)
+}
+
+// NewCTKTMCS returns the paper's C-TKT-MCS lock: global ticket lock
+// over per-cluster MCS locks (§3.5).
+func NewCTKTMCS(topo *Topology, opts ...Option) *CohortLock {
+	return core.NewCTKTMCS(topo, opts...)
+}
+
+// NewCMCSMCS returns the paper's C-MCS-MCS lock: MCS at both levels,
+// with global queue nodes circulating through per-proc pools (§3.4).
+func NewCMCSMCS(topo *Topology, opts ...Option) *CohortLock {
+	return core.NewCMCSMCS(topo, opts...)
+}
+
+// NewCBOCLH returns the C-BO-CLH lock: global backoff lock over
+// cohort-detecting CLH locks — an additional construction beyond the
+// paper's seven, enabled by the generality of the transformation.
+func NewCBOCLH(topo *Topology, opts ...Option) *CohortLock {
+	return core.NewCBOCLH(topo, opts...)
+}
+
+// RWCohortLock is a NUMA-aware reader-writer lock whose writers
+// serialize through a cohort lock and whose readers use per-cluster
+// counters; see internal/core for the protocol.
+type RWCohortLock = core.RWCohortLock
+
+// NewRWCBOMCS returns a reader-writer cohort lock over C-BO-MCS.
+func NewRWCBOMCS(topo *Topology, opts ...Option) *RWCohortLock {
+	return core.NewRWCBOMCS(topo, opts...)
+}
+
+// NewACBOBO returns the paper's abortable A-C-BO-BO lock (§3.6.1).
+func NewACBOBO(topo *Topology, opts ...Option) *AbortableCohortLock {
+	return core.NewACBOBO(topo, opts...)
+}
+
+// NewACBOCLH returns the paper's abortable A-C-BO-CLH lock (§3.6.2),
+// the first NUMA-aware abortable queue lock.
+func NewACBOCLH(topo *Topology, opts ...Option) *AbortableCohortLock {
+	return core.NewACBOCLH(topo, opts...)
+}
+
+// NewGlobalBO returns a thread-oblivious test-and-test-and-set lock
+// suitable as the global component of custom compositions (it also
+// satisfies AbortableGlobalLock).
+func NewGlobalBO() *core.GlobalBO { return core.NewGlobalBO() }
+
+// NewLocalMCS returns a cohort-detecting MCS lock suitable as the
+// local component of custom compositions.
+func NewLocalMCS(topo *Topology) LocalLock { return core.NewLocalMCS(topo) }
+
+// NewLocalCLH returns a cohort-detecting CLH lock suitable as the
+// local component of custom compositions.
+func NewLocalCLH(topo *Topology) LocalLock { return core.NewLocalCLH(topo) }
+
+// Interface conformance checks.
+var (
+	_ Lock    = (*CohortLock)(nil)
+	_ TryLock = (*AbortableCohortLock)(nil)
+)

@@ -1,0 +1,185 @@
+package cohort_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	cohort "repro"
+)
+
+func TestQuickstartShape(t *testing.T) {
+	// The package-documentation example, verified.
+	topo := cohort.NewTopology(4, 16)
+	lock := cohort.NewCBOMCS(topo)
+	var counter int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(p *cohort.Proc) {
+			defer wg.Done()
+			for k := 0; k < 500; k++ {
+				lock.Lock(p)
+				counter++
+				lock.Unlock(p)
+			}
+		}(topo.Proc(i))
+	}
+	wg.Wait()
+	if counter != 16*500 {
+		t.Fatalf("counter = %d, want %d", counter, 16*500)
+	}
+}
+
+func TestAllConstructorsUsable(t *testing.T) {
+	topo := cohort.NewTopology(2, 8)
+	blocking := map[string]cohort.Lock{
+		"c-bo-bo":   cohort.NewCBOBO(topo),
+		"c-tkt-tkt": cohort.NewCTKTTKT(topo),
+		"c-bo-mcs":  cohort.NewCBOMCS(topo),
+		"c-tkt-mcs": cohort.NewCTKTMCS(topo),
+		"c-mcs-mcs": cohort.NewCMCSMCS(topo),
+	}
+	for name, l := range blocking {
+		p := topo.Proc(0)
+		l.Lock(p)
+		l.Unlock(p)
+		_ = name
+	}
+	abortable := map[string]cohort.TryLock{
+		"a-c-bo-bo":  cohort.NewACBOBO(topo),
+		"a-c-bo-clh": cohort.NewACBOCLH(topo),
+	}
+	for name, l := range abortable {
+		p := topo.Proc(0)
+		if !l.TryLockFor(p, time.Second) {
+			t.Fatalf("%s: TryLockFor failed on free lock", name)
+		}
+		l.Unlock(p)
+	}
+}
+
+func TestWithHandoffLimitVisible(t *testing.T) {
+	topo := cohort.NewTopology(2, 4)
+	l := cohort.NewCTKTTKT(topo, cohort.WithHandoffLimit(5))
+	if l.HandoffLimit() != 5 {
+		t.Fatalf("HandoffLimit = %d, want 5", l.HandoffLimit())
+	}
+	d := cohort.NewCBOMCS(topo)
+	if d.HandoffLimit() != cohort.DefaultHandoffLimit {
+		t.Fatalf("default HandoffLimit = %d", d.HandoffLimit())
+	}
+}
+
+// userSpinLock is a deliberately simple user-provided lock used to
+// exercise the generic transformation through the public API.
+type userSpinLock struct {
+	held atomic.Int32
+	// succ implements cohort detection the same way LocalBO does.
+	succ atomic.Int32
+}
+
+func (u *userSpinLock) Lock(p *cohort.Proc) cohort.Release {
+	for {
+		v := u.held.Load()
+		if v != 1 { // 0 = free/global-release, 2 = local-release
+			u.succ.Store(1)
+			if u.held.CompareAndSwap(v, 1) {
+				u.succ.Store(0)
+				if v == 2 {
+					return cohort.ReleaseLocal
+				}
+				return cohort.ReleaseGlobal
+			}
+		} else if u.succ.Load() == 0 {
+			u.succ.Store(1)
+		}
+	}
+}
+
+func (u *userSpinLock) Unlock(_ *cohort.Proc, r cohort.Release) {
+	if r == cohort.ReleaseLocal {
+		u.held.Store(2)
+	} else {
+		u.held.Store(0)
+	}
+}
+
+func (u *userSpinLock) Alone(_ *cohort.Proc) bool { return u.succ.Load() == 0 }
+
+func TestGenericTransformationWithUserLock(t *testing.T) {
+	topo := cohort.NewTopology(2, 8)
+	lock := cohort.New(topo, cohort.NewGlobalBO(), func(int) cohort.LocalLock {
+		return &userSpinLock{}
+	})
+	var counter int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(p *cohort.Proc) {
+			defer wg.Done()
+			for k := 0; k < 300; k++ {
+				lock.Lock(p)
+				counter++
+				lock.Unlock(p)
+			}
+		}(topo.Proc(i))
+	}
+	wg.Wait()
+	if counter != 8*300 {
+		t.Fatalf("counter = %d, want %d", counter, 8*300)
+	}
+}
+
+func TestProvidedLocalMCSComposes(t *testing.T) {
+	topo := cohort.NewTopology(2, 8)
+	lock := cohort.New(topo, cohort.NewGlobalBO(), func(int) cohort.LocalLock {
+		return cohort.NewLocalMCS(topo)
+	}, cohort.WithHandoffLimit(8))
+	var wg sync.WaitGroup
+	var counter int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(p *cohort.Proc) {
+			defer wg.Done()
+			for k := 0; k < 300; k++ {
+				lock.Lock(p)
+				counter++
+				lock.Unlock(p)
+			}
+		}(topo.Proc(i))
+	}
+	wg.Wait()
+	if counter != 8*300 {
+		t.Fatalf("counter = %d", counter)
+	}
+}
+
+func TestAbortableUnderContention(t *testing.T) {
+	topo := cohort.NewTopology(4, 16)
+	lock := cohort.NewACBOCLH(topo)
+	var acquired, aborted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(p *cohort.Proc) {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				if lock.TryLockFor(p, 50*time.Microsecond) {
+					acquired.Add(1)
+					lock.Unlock(p)
+				} else {
+					aborted.Add(1)
+				}
+			}
+		}(topo.Proc(i))
+	}
+	wg.Wait()
+	if acquired.Load() == 0 {
+		t.Fatal("nothing acquired")
+	}
+	if acquired.Load()+aborted.Load() != 16*200 {
+		t.Fatal("attempts unaccounted")
+	}
+}

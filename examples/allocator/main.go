@@ -1,0 +1,53 @@
+// Allocator: the paper's malloc experiment in miniature. The
+// single-lock splay-tree allocator (modelled on Solaris libc malloc)
+// is hammered with the mmicro workload — allocate 64 bytes, write the
+// first four words, free, ~4 µs delays — under different locks,
+// reproducing the Table 2 effect: cohort locks recycle recently freed
+// blocks within the allocating cluster, cutting cross-cluster block
+// bouncing.
+//
+// Run with:
+//
+//	go run ./examples/allocator
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/mmicro"
+	"repro/internal/numa"
+)
+
+func main() {
+	workers := runtime.GOMAXPROCS(0) - 1
+	if workers < 4 {
+		workers = 4
+	}
+	topo := numa.New(4, workers)
+
+	type candidate struct {
+		name string
+		lock locks.Mutex
+	}
+	for _, c := range []candidate{
+		{"pthread (sync.Mutex)", locks.NewPthread()},
+		{"MCS (NUMA-oblivious)", locks.NewMCS(topo)},
+		{"C-BO-MCS (cohort)", core.NewCBOMCS(topo)},
+	} {
+		cfg := mmicro.DefaultConfig(topo, workers)
+		res, err := mmicro.Run(cfg, c.lock)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%-22s %7.0f malloc-free pairs/ms   cross-cluster reuse %5.1f%%   (tree allocs %d, bin allocs %d, splits %d)\n",
+			c.name, res.PairsPerMs(), 100*res.RemoteReuseRate(),
+			res.Alloc.TreeAllocs, res.Alloc.BinAllocs, res.Alloc.Splits)
+	}
+	fmt.Println("\nThe splay tree returns the most recently freed block first; under a")
+	fmt.Println("cohort lock that block was freed by the same cluster, so its cache")
+	fmt.Println("lines are already resident — the paper's Table 2 mechanism.")
+}

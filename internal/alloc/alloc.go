@@ -1,0 +1,399 @@
+// Package alloc is the single-lock memory allocator of the paper's
+// Table 2 experiment, modelled on the default Solaris libc malloc: one
+// global lock serializes every operation; free blocks of 40 bytes or
+// less sit on size-segregated lists; larger free blocks live in a
+// splay tree keyed by size, where a newly freed block is splayed to
+// the root and therefore reallocated first. The lock is pluggable —
+// the paper's LD_PRELOAD interposition — so the mmicro harness can
+// measure every lock from the registry under allocator load.
+//
+// Blocks are carved from one contiguous arena with 8-byte inline
+// headers holding the payload size, an allocated/free state, and the
+// last-touching cluster. The cluster tag drives the paper's block-
+// recycling locality effect: reusing a block last touched by another
+// cluster charges the remote-access latency, so lock algorithms that
+// batch malloc/free by cluster recycle blocks locally and run faster.
+//
+// Deviation (DESIGN.md §2): like the Solaris allocator the paper
+// describes, freeing does not eagerly coalesce neighbours; block
+// splitting is supported. The mmicro workload (uniform 64-byte
+// requests) never needs coalescing.
+package alloc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/locks"
+	"repro/internal/numa"
+	"repro/internal/spin"
+)
+
+// Metadata line indices in the allocator's cachesim domain. The
+// allocator's critical section is dominated by writes to these
+// structures (tree rotations splay nodes on every insert and take,
+// bin heads are pushed/popped, the wilderness pointer advances); they
+// are exactly the lines that stay cluster-resident when a lock batches
+// malloc/free by cluster — the paper's "accesses by the allocator to
+// allocation metadata" locality (§4.3).
+const (
+	lineTree = 0 // splay-tree root and rotation path
+	lineBins = 1 // small-block list heads
+	lineWild = 2 // wilderness pointer
+	numLines = 3
+)
+
+const (
+	headerSize = 8
+	alignment  = 8
+	// SmallMax is the largest payload served from the small-block
+	// lists (the paper: "lists of small — 40 bytes or less — memory
+	// blocks").
+	SmallMax = 40
+	numBins  = SmallMax / alignment
+	// block states stored in the header
+	stateFree  = 0
+	stateAlloc = 1
+)
+
+// Config parameterizes an Allocator.
+type Config struct {
+	// Topo sizes per-proc statistics.
+	Topo *numa.Topology
+	// Lock is the allocator's single global lock (the interposition
+	// point).
+	Lock locks.Mutex
+	// ArenaBytes is the arena capacity. Default 64 MiB.
+	ArenaBytes int
+	// LocalNs/RemoteNs are the latencies charged when a block's last
+	// toucher was the same / another cluster. Defaults per
+	// cachesim.DefaultConfig.
+	LocalNs, RemoteNs int64
+	// Cache sets the metadata-line latencies (cachesim semantics);
+	// zero selects cachesim.DefaultConfig.
+	Cache cachesim.Config
+}
+
+// Stats aggregates allocator activity.
+type Stats struct {
+	Mallocs, Frees   uint64
+	BinAllocs        uint64 // served from small-block lists
+	TreeAllocs       uint64 // served from the splay tree
+	Carves           uint64 // served from the wilderness
+	Splits           uint64 // tree blocks split
+	RemoteTouches    uint64 // block reuses that crossed clusters
+	FreeTreeBlocks   int    // current tree population
+	WildernessOffset uint32 // high-water mark
+}
+
+type allocSlot struct {
+	mallocs, frees, binAllocs, treeAllocs uint64
+	carves, splits, remoteTouches         uint64
+	_                                     numa.Pad
+}
+
+// Allocator is the single-lock malloc/free arena.
+type Allocator struct {
+	cfg    Config
+	lock   locks.Mutex
+	arena  []byte
+	brk    uint32
+	bins   [numBins]uint32 // head payload offsets; 0 = empty
+	tree   splayTree
+	domain *cachesim.Domain
+	slots  []allocSlot
+}
+
+// New builds an allocator or reports a configuration error.
+func New(cfg Config) (*Allocator, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("alloc: nil topology")
+	}
+	if cfg.Lock == nil {
+		return nil, fmt.Errorf("alloc: nil lock")
+	}
+	if cfg.ArenaBytes <= 0 {
+		cfg.ArenaBytes = 64 << 20
+	}
+	if cfg.ArenaBytes < 1<<12 {
+		return nil, fmt.Errorf("alloc: arena %d bytes too small", cfg.ArenaBytes)
+	}
+	if cfg.LocalNs == 0 && cfg.RemoteNs == 0 {
+		def := cachesim.DefaultConfig()
+		cfg.LocalNs, cfg.RemoteNs = def.LocalNs, def.RemoteNs
+	}
+	if cfg.Cache == (cachesim.Config{}) {
+		cfg.Cache = cachesim.DefaultConfig()
+	}
+	return &Allocator{
+		cfg:    cfg,
+		lock:   cfg.Lock,
+		arena:  make([]byte, cfg.ArenaBytes),
+		domain: cachesim.NewDomain(cfg.Topo, numLines, cfg.Cache),
+		slots:  make([]allocSlot, cfg.Topo.MaxProcs()),
+	}, nil
+}
+
+// header encoding: size (32 bits) | owner cluster (8) | state (8).
+func (a *Allocator) writeHeader(off, size uint32, owner int32, state uint8) {
+	word := uint64(size) | uint64(uint8(owner))<<32 | uint64(state)<<40
+	binary.LittleEndian.PutUint64(a.arena[off-headerSize:off], word)
+}
+
+func (a *Allocator) readHeader(off uint32) (size uint32, owner int32, state uint8) {
+	word := binary.LittleEndian.Uint64(a.arena[off-headerSize : off])
+	return uint32(word), int32(uint8(word >> 32)), uint8(word >> 40)
+}
+
+// bin free-list links live in the first 8 payload bytes of freed
+// small blocks, as in a real allocator.
+func (a *Allocator) readLink(off uint32) uint32 {
+	return uint32(binary.LittleEndian.Uint64(a.arena[off : off+8]))
+}
+
+func (a *Allocator) writeLink(off, next uint32) {
+	binary.LittleEndian.PutUint64(a.arena[off:off+8], uint64(next))
+}
+
+func roundSize(n int) uint32 {
+	s := (n + alignment - 1) &^ (alignment - 1)
+	if s < alignment {
+		s = alignment
+	}
+	return uint32(s)
+}
+
+// touch charges the cluster-locality latency for reusing the block at
+// off whose previous owner is prevOwner. Must hold the lock.
+func (a *Allocator) touch(p *numa.Proc, sl *allocSlot, prevOwner int32) {
+	if prevOwner != int32(p.Cluster()) {
+		sl.remoteTouches++
+		spin.WaitNs(a.cfg.RemoteNs)
+	} else {
+		spin.WaitNs(a.cfg.LocalNs)
+	}
+}
+
+// Malloc allocates n bytes and returns the payload offset. The offset
+// is stable for the allocator's lifetime; use Bytes to access it.
+func (a *Allocator) Malloc(p *numa.Proc, n int) (uint32, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("alloc: malloc of %d bytes", n)
+	}
+	size := roundSize(n)
+	sl := &a.slots[p.ID()]
+	a.lock.Lock(p)
+	off, err := a.mallocLocked(p, sl, size)
+	a.lock.Unlock(p)
+	if err != nil {
+		return 0, err
+	}
+	sl.mallocs++
+	return off, nil
+}
+
+func (a *Allocator) mallocLocked(p *numa.Proc, sl *allocSlot, size uint32) (uint32, error) {
+	// 1. Small-block lists.
+	if size <= SmallMax {
+		idx := size/alignment - 1
+		if off := a.bins[idx]; off != 0 {
+			a.domain.Access(p, lineBins, 2)
+			a.bins[idx] = a.readLink(off)
+			_, owner, _ := a.readHeader(off)
+			a.touch(p, sl, owner)
+			a.writeHeader(off, size, int32(p.Cluster()), stateAlloc)
+			sl.binAllocs++
+			return off, nil
+		}
+	}
+	// 2. Splay tree: first matching block, splitting any excess back
+	// into the free structures.
+	if k, ok := a.tree.takeFit(size); ok {
+		a.domain.Access(p, lineTree, 2)
+		off := k.off
+		blockSize := k.size
+		if blockSize >= size+headerSize+alignment {
+			remOff := off + size + headerSize
+			remSize := blockSize - size - headerSize
+			a.writeHeader(remOff, remSize, int32(p.Cluster()), stateFree)
+			a.freeBlockLocked(nil, remOff, remSize)
+			blockSize = size
+			sl.splits++
+		}
+		_, owner, _ := a.readHeader(off)
+		a.touch(p, sl, owner)
+		a.writeHeader(off, blockSize, int32(p.Cluster()), stateAlloc)
+		sl.treeAllocs++
+		return off, nil
+	}
+	// 3. Wilderness.
+	need := headerSize + size
+	if int(a.brk)+int(need) > len(a.arena) {
+		return 0, fmt.Errorf("alloc: arena exhausted (%d bytes in use, want %d)", a.brk, need)
+	}
+	a.domain.Access(p, lineWild, 1)
+	off := a.brk + headerSize
+	a.brk += need
+	a.writeHeader(off, size, int32(p.Cluster()), stateAlloc)
+	sl.carves++
+	return off, nil
+}
+
+// freeBlockLocked inserts a free block into the bin or tree, charging
+// the metadata line it writes. p may be nil for internal splits whose
+// charge is carried by the enclosing operation.
+func (a *Allocator) freeBlockLocked(p *numa.Proc, off, size uint32) {
+	if size <= SmallMax {
+		if p != nil {
+			a.domain.Access(p, lineBins, 2)
+		}
+		idx := size/alignment - 1
+		a.writeLink(off, a.bins[idx])
+		a.bins[idx] = off
+		return
+	}
+	if p != nil {
+		a.domain.Access(p, lineTree, 2)
+	}
+	a.tree.insert(bkey{size: size, off: off})
+}
+
+// Free returns the block at payload offset off to the allocator. A
+// newly freed tree block is splayed to the root, making it the first
+// candidate for the next fitting malloc (the recycling behaviour the
+// paper's Table 2 analysis rests on). Freeing a non-allocated offset
+// returns an error and leaves the allocator unchanged.
+func (a *Allocator) Free(p *numa.Proc, off uint32) error {
+	if off < headerSize {
+		return fmt.Errorf("alloc: free of invalid offset %d", off)
+	}
+	sl := &a.slots[p.ID()]
+	a.lock.Lock(p)
+	if int(off) > int(a.brk) { // brk is lock-protected
+		a.lock.Unlock(p)
+		return fmt.Errorf("alloc: free of invalid offset %d", off)
+	}
+	size, owner, state := a.readHeader(off)
+	if state != stateAlloc {
+		a.lock.Unlock(p)
+		return fmt.Errorf("alloc: double free or corruption at %d", off)
+	}
+	a.touch(p, sl, owner)
+	a.writeHeader(off, size, int32(p.Cluster()), stateFree)
+	a.freeBlockLocked(p, off, size)
+	a.lock.Unlock(p)
+	sl.frees++
+	return nil
+}
+
+// UsableSize reports the payload size of an allocated block.
+func (a *Allocator) UsableSize(off uint32) uint32 {
+	size, _, _ := a.readHeader(off)
+	return size
+}
+
+// Bytes returns the payload bytes [off, off+n). n must not exceed the
+// block's usable size; exceeding it corrupts neighbouring blocks just
+// like real malloc, so tests guard it with Fsck.
+func (a *Allocator) Bytes(off uint32, n int) []byte {
+	return a.arena[off : off+uint32(n)]
+}
+
+// Snapshot aggregates statistics; call while callers are quiescent.
+func (a *Allocator) Snapshot() Stats {
+	var st Stats
+	for i := range a.slots {
+		sl := &a.slots[i]
+		st.Mallocs += sl.mallocs
+		st.Frees += sl.frees
+		st.BinAllocs += sl.binAllocs
+		st.TreeAllocs += sl.treeAllocs
+		st.Carves += sl.carves
+		st.Splits += sl.splits
+		st.RemoteTouches += sl.remoteTouches
+	}
+	st.FreeTreeBlocks = a.tree.len()
+	st.WildernessOffset = a.brk
+	return st
+}
+
+// Fsck walks the whole arena verifying heap invariants: headers chain
+// exactly to the wilderness edge, every state is valid, and every free
+// block is represented exactly once in the bins or the tree. Intended
+// for tests; not thread-safe.
+func (a *Allocator) Fsck() error {
+	freeBlocks := map[uint32]uint32{} // payload offset -> size
+	pos := uint32(0)
+	for pos < a.brk {
+		off := pos + headerSize
+		size, _, state := a.readHeader(off)
+		if size == 0 || size%alignment != 0 {
+			return fmt.Errorf("alloc: bad size %d at %d", size, off)
+		}
+		switch state {
+		case stateAlloc:
+		case stateFree:
+			freeBlocks[off] = size
+		default:
+			return fmt.Errorf("alloc: bad state %d at %d", state, off)
+		}
+		pos += headerSize + size
+	}
+	if pos != a.brk {
+		return fmt.Errorf("alloc: heap walk ended at %d, wilderness at %d", pos, a.brk)
+	}
+	// Every bin entry must be a free block of the bin's size.
+	seen := map[uint32]bool{}
+	for i, head := range a.bins {
+		want := uint32(i+1) * alignment
+		for off := head; off != 0; off = a.readLink(off) {
+			size, ok := freeBlocks[off]
+			if !ok {
+				return fmt.Errorf("alloc: bin %d holds non-free block %d", i, off)
+			}
+			if size != want {
+				return fmt.Errorf("alloc: bin %d holds block of size %d", i, size)
+			}
+			if seen[off] {
+				return fmt.Errorf("alloc: block %d on multiple free lists", off)
+			}
+			seen[off] = true
+		}
+	}
+	// Every tree entry must be a free block of matching size, in order.
+	var err error
+	prev := bkey{}
+	first := true
+	a.tree.walk(func(k bkey) {
+		if err != nil {
+			return
+		}
+		if !first && !prev.less(k) {
+			err = fmt.Errorf("alloc: tree keys out of order at %v", k)
+			return
+		}
+		prev, first = k, false
+		size, ok := freeBlocks[k.off]
+		if !ok {
+			err = fmt.Errorf("alloc: tree holds non-free block %d", k.off)
+			return
+		}
+		if size != k.size {
+			err = fmt.Errorf("alloc: tree key size %d, header says %d", k.size, size)
+			return
+		}
+		if seen[k.off] {
+			err = fmt.Errorf("alloc: block %d on list and tree", k.off)
+			return
+		}
+		seen[k.off] = true
+	})
+	if err != nil {
+		return err
+	}
+	if len(seen) != len(freeBlocks) {
+		return fmt.Errorf("alloc: %d free blocks reachable, %d in heap", len(seen), len(freeBlocks))
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+package alloc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cachesim"
+	"repro/internal/locks"
+	"repro/internal/numa"
+)
+
+func newTestAlloc(t *testing.T) (*Allocator, *numa.Topology) {
+	t.Helper()
+	topo := numa.New(4, 16)
+	a, err := New(Config{
+		Topo: topo, Lock: locks.NewPthread(),
+		ArenaBytes: 1 << 20,
+		// zero-cost locality charges keep tests fast but still counted
+		LocalNs: 1, RemoteNs: 1, Cache: cachesim.Config{LocalNs: 1, RemoteNs: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, topo
+}
+
+func TestNewValidation(t *testing.T) {
+	topo := numa.New(2, 2)
+	if _, err := New(Config{Lock: locks.NewPthread()}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := New(Config{Topo: topo}); err == nil {
+		t.Error("nil lock accepted")
+	}
+	if _, err := New(Config{Topo: topo, Lock: locks.NewPthread(), ArenaBytes: 16}); err == nil {
+		t.Error("tiny arena accepted")
+	}
+}
+
+func TestMallocWriteFree(t *testing.T) {
+	a, topo := newTestAlloc(t)
+	p := topo.Proc(0)
+	off, err := a.Malloc(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UsableSize(off) != 64 {
+		t.Fatalf("UsableSize = %d, want 64", a.UsableSize(off))
+	}
+	buf := a.Bytes(off, 64)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := a.Free(p, off); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMallocRoundsAndAligns(t *testing.T) {
+	a, topo := newTestAlloc(t)
+	p := topo.Proc(0)
+	for _, n := range []int{1, 7, 8, 9, 63, 64, 65} {
+		off, err := a.Malloc(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off%alignment != 0 {
+			t.Errorf("Malloc(%d) offset %d not aligned", n, off)
+		}
+		if got := a.UsableSize(off); int(got) < n || got%alignment != 0 {
+			t.Errorf("Malloc(%d) usable %d", n, got)
+		}
+	}
+	if err := a.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMallocInvalidSizes(t *testing.T) {
+	a, topo := newTestAlloc(t)
+	p := topo.Proc(0)
+	if _, err := a.Malloc(p, 0); err == nil {
+		t.Error("Malloc(0) succeeded")
+	}
+	if _, err := a.Malloc(p, -1); err == nil {
+		t.Error("Malloc(-1) succeeded")
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	a, topo := newTestAlloc(t)
+	p := topo.Proc(0)
+	off, _ := a.Malloc(p, 64)
+	if err := a.Free(p, off); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p, off); err == nil {
+		t.Fatal("double free not detected")
+	}
+	if err := a.Free(p, 4); err == nil {
+		t.Fatal("bogus offset free not detected")
+	}
+	if err := a.Free(p, 1<<30); err == nil {
+		t.Fatal("out-of-range free not detected")
+	}
+}
+
+func TestRecyclingReturnsMostRecentlyFreed(t *testing.T) {
+	// The splay-to-root property at allocator level: free two 64-byte
+	// blocks; the next 64-byte malloc must return the most recently
+	// freed one (LIFO), the behaviour the paper's Table 2 discussion
+	// attributes the cross-cluster block bouncing to.
+	a, topo := newTestAlloc(t)
+	p := topo.Proc(0)
+	off1, _ := a.Malloc(p, 64)
+	off2, _ := a.Malloc(p, 64)
+	a.Free(p, off1)
+	a.Free(p, off2) // most recent
+	got, _ := a.Malloc(p, 64)
+	if got != off2 {
+		t.Fatalf("Malloc reused %d, want most recently freed %d", got, off2)
+	}
+}
+
+func TestSmallBlocksUseBins(t *testing.T) {
+	a, topo := newTestAlloc(t)
+	p := topo.Proc(0)
+	off, _ := a.Malloc(p, 40)
+	a.Free(p, off)
+	got, _ := a.Malloc(p, 40)
+	if got != off {
+		t.Fatalf("small block not recycled from bin: got %d, want %d", got, off)
+	}
+	st := a.Snapshot()
+	if st.BinAllocs != 1 {
+		t.Fatalf("BinAllocs = %d, want 1", st.BinAllocs)
+	}
+	if st.FreeTreeBlocks != 0 {
+		t.Fatalf("small block leaked into tree")
+	}
+}
+
+func TestSplitProducesRemainder(t *testing.T) {
+	a, topo := newTestAlloc(t)
+	p := topo.Proc(0)
+	big, _ := a.Malloc(p, 256)
+	a.Free(p, big)
+	small, err := a.Malloc(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small != big {
+		t.Fatalf("split alloc at %d, want start of freed block %d", small, big)
+	}
+	st := a.Snapshot()
+	if st.Splits != 1 {
+		t.Fatalf("Splits = %d, want 1", st.Splits)
+	}
+	// Remainder: 256 - 64 - 8 = 184 bytes, must be findable.
+	rem, err := a.Malloc(p, 184)
+	if err != nil {
+		t.Fatalf("remainder not allocatable: %v", err)
+	}
+	if rem != big+64+headerSize {
+		t.Fatalf("remainder at %d, want %d", rem, big+64+headerSize)
+	}
+	if err := a.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	topo := numa.New(2, 2)
+	a, err := New(Config{Topo: topo, Lock: locks.NewPthread(), ArenaBytes: 1 << 12, LocalNs: 1, RemoteNs: 1, Cache: cachesim.Config{LocalNs: 1, RemoteNs: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := topo.Proc(0)
+	var offs []uint32
+	for {
+		off, err := a.Malloc(p, 128)
+		if err != nil {
+			break
+		}
+		offs = append(offs, off)
+	}
+	if len(offs) == 0 {
+		t.Fatal("no allocation succeeded")
+	}
+	// Everything frees cleanly and becomes reusable.
+	for _, off := range offs {
+		if err := a.Free(p, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Malloc(p, 128); err != nil {
+		t.Fatalf("allocation after full free failed: %v", err)
+	}
+	if err := a.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteTouchAccounting(t *testing.T) {
+	a, topo := newTestAlloc(t)
+	p0 := topo.Proc(0) // cluster 0
+	p1 := topo.Proc(1) // cluster 1
+	off, _ := a.Malloc(p0, 64)
+	a.Free(p0, off) // same cluster: local
+	st := a.Snapshot()
+	base := st.RemoteTouches
+	off2, _ := a.Malloc(p1, 64) // reuses p0's block: remote
+	if off2 != off {
+		t.Fatalf("expected recycling, got %d want %d", off2, off)
+	}
+	st = a.Snapshot()
+	if st.RemoteTouches != base+1 {
+		t.Fatalf("RemoteTouches = %d, want %d", st.RemoteTouches, base+1)
+	}
+	a.Free(p1, off2) // p1 touched it last: local again
+	st2 := a.Snapshot()
+	if st2.RemoteTouches != st.RemoteTouches {
+		t.Fatalf("same-cluster free counted remote")
+	}
+}
+
+// Property test: random malloc/free sequences never hand out
+// overlapping blocks and always pass Fsck.
+func TestRandomMallocFreeProperty(t *testing.T) {
+	f := func(sizes []uint8, frees []uint8) bool {
+		a, topo := newTestAlloc(t)
+		p := topo.Proc(0)
+		type blk struct{ off, size uint32 }
+		var live []blk
+		overlap := func(x blk) bool {
+			for _, y := range live {
+				if x.off < y.off+y.size && y.off < x.off+x.size {
+					return true
+				}
+			}
+			return false
+		}
+		for i, s := range sizes {
+			n := int(s)%200 + 1
+			off, err := a.Malloc(p, n)
+			if err != nil {
+				return false
+			}
+			b := blk{off, a.UsableSize(off)}
+			if overlap(b) {
+				return false
+			}
+			live = append(live, b)
+			// Occasionally free a pseudo-random live block.
+			if len(frees) > 0 && frees[i%len(frees)]%3 == 0 && len(live) > 0 {
+				j := int(frees[i%len(frees)]) % len(live)
+				if a.Free(p, live[j].off) != nil {
+					return false
+				}
+				live = append(live[:j], live[j+1:]...)
+			}
+		}
+		return a.Fsck() == nil
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMallocFree(t *testing.T) {
+	topo := numa.New(4, 16)
+	a, err := New(Config{Topo: topo, Lock: locks.NewMCS(topo), ArenaBytes: 8 << 20, LocalNs: 1, RemoteNs: 1, Cache: cachesim.Config{LocalNs: 1, RemoteNs: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := topo.Proc(id)
+			var held []uint32
+			for k := 0; k < 500; k++ {
+				off, err := a.Malloc(p, 64)
+				if err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+				buf := a.Bytes(off, 64)
+				for j := range buf {
+					buf[j] = byte(id)
+				}
+				held = append(held, off)
+				if len(held) > 8 {
+					victim := held[0]
+					held = held[1:]
+					// Verify our writes survived (no block sharing).
+					vb := a.Bytes(victim, 64)
+					for j := range vb {
+						if vb[j] != byte(id) {
+							t.Errorf("worker %d: block %d corrupted", id, victim)
+							return
+						}
+					}
+					if err := a.Free(p, victim); err != nil {
+						t.Errorf("worker %d: %v", id, err)
+						return
+					}
+				}
+			}
+			for _, off := range held {
+				a.Free(p, off)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := a.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Snapshot()
+	if st.Mallocs != st.Frees {
+		t.Fatalf("mallocs %d != frees %d after full drain", st.Mallocs, st.Frees)
+	}
+}

@@ -1,0 +1,135 @@
+package alloc
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/locks"
+	"repro/internal/numa"
+)
+
+// Failure injection: Fsck must detect the corruption classes a real
+// heap checker guards against.
+
+func corruptibleAlloc(t *testing.T) (*Allocator, *numa.Proc) {
+	t.Helper()
+	topo := numa.New(2, 2)
+	a, err := New(Config{Topo: topo, Lock: locks.NewPthread(), ArenaBytes: 1 << 16, LocalNs: 1, RemoteNs: 1, Cache: cachesim.Config{LocalNs: 1, RemoteNs: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, topo.Proc(0)
+}
+
+func TestFsckCleanHeap(t *testing.T) {
+	a, p := corruptibleAlloc(t)
+	offs := make([]uint32, 0, 8)
+	for i := 0; i < 8; i++ {
+		off, err := a.Malloc(p, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	for _, off := range offs[:4] {
+		if err := a.Free(p, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Fsck(); err != nil {
+		t.Fatalf("clean heap failed fsck: %v", err)
+	}
+}
+
+func TestFsckDetectsHeaderSmash(t *testing.T) {
+	a, p := corruptibleAlloc(t)
+	off, _ := a.Malloc(p, 64)
+	next, _ := a.Malloc(p, 64)
+	_ = next
+	// Overflow the first block by 8 bytes: smashes next block's header.
+	buf := a.Bytes(off, 64+8)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if err := a.Fsck(); err == nil {
+		t.Fatal("fsck missed a smashed header")
+	}
+}
+
+func TestFsckDetectsBadState(t *testing.T) {
+	a, p := corruptibleAlloc(t)
+	off, _ := a.Malloc(p, 64)
+	// Corrupt the state byte directly.
+	word := binary.LittleEndian.Uint64(a.arena[off-headerSize : off])
+	word |= uint64(7) << 40
+	binary.LittleEndian.PutUint64(a.arena[off-headerSize:off], word)
+	if err := a.Fsck(); err == nil {
+		t.Fatal("fsck missed an invalid block state")
+	}
+}
+
+func TestFsckDetectsFreeBlockNotOnLists(t *testing.T) {
+	a, p := corruptibleAlloc(t)
+	off, _ := a.Malloc(p, 64)
+	// Mark the block free behind the allocator's back: it is on no
+	// free list, which fsck must flag as unreachable.
+	a.writeHeader(off, 64, 0, stateFree)
+	if err := a.Fsck(); err == nil {
+		t.Fatal("fsck missed an orphaned free block")
+	}
+}
+
+func TestFsckDetectsBinCorruption(t *testing.T) {
+	a, p := corruptibleAlloc(t)
+	off, _ := a.Malloc(p, 32) // small block: bin class
+	if err := a.Free(p, off); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the bin link to point at an allocated block.
+	victim, _ := a.Malloc(p, 40)
+	a.writeLink(off, victim)
+	if err := a.Fsck(); err == nil {
+		t.Fatal("fsck missed a bin link to a non-free block")
+	}
+}
+
+func TestUsableSizeAndBytesRoundTrip(t *testing.T) {
+	a, p := corruptibleAlloc(t)
+	off, _ := a.Malloc(p, 100) // rounds to 104
+	if got := a.UsableSize(off); got != 104 {
+		t.Fatalf("UsableSize = %d, want 104", got)
+	}
+	b := a.Bytes(off, 104)
+	if len(b) != 104 {
+		t.Fatalf("Bytes len = %d", len(b))
+	}
+	for i := range b {
+		b[i] = byte(i)
+	}
+	b2 := a.Bytes(off, 104)
+	for i := range b2 {
+		if b2[i] != byte(i) {
+			t.Fatal("Bytes does not alias the block")
+		}
+	}
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	a, p := corruptibleAlloc(t)
+	off1, _ := a.Malloc(p, 64) // carve
+	a.Free(p, off1)            // tree insert
+	off2, _ := a.Malloc(p, 64) // tree hit
+	off3, _ := a.Malloc(p, 24) // carve (bin class, empty bin)
+	a.Free(p, off3)            // bin insert
+	off4, _ := a.Malloc(p, 24) // bin hit
+	st := a.Snapshot()
+	if st.Mallocs != 4 || st.Frees != 2 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.TreeAllocs != 1 || st.BinAllocs != 1 || st.Carves != 2 {
+		t.Fatalf("path counters: %+v", st)
+	}
+	_ = off2
+	_ = off4
+}

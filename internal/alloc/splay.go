@@ -1,0 +1,209 @@
+package alloc
+
+// Splay tree of free blocks, keyed by (size, offset). This mirrors the
+// Solaris libc allocator the paper instruments: free blocks above the
+// small-block threshold live in a self-adjusting binary search tree.
+// Two properties matter for Table 2's analysis and are preserved
+// exactly: insertion splays the new node to the root, so the most
+// recently freed block of a size is the first one a matching malloc
+// returns (LIFO recycling), and allocation takes the first fitting
+// block via a ceiling search.
+
+// bkey orders free blocks by size, then offset (offsets are unique, so
+// keys are unique).
+type bkey struct {
+	size uint32
+	off  uint32
+}
+
+func (a bkey) less(b bkey) bool {
+	return a.size < b.size || (a.size == b.size && a.off < b.off)
+}
+
+type splayNode struct {
+	k           bkey
+	left, right *splayNode
+}
+
+// splayTree is a classic top-down splay tree. Not safe for concurrent
+// use: the allocator guards it with the interposed lock, exactly like
+// libc malloc.
+type splayTree struct {
+	root *splayNode
+	free *splayNode // node recycle list, chained via right
+	n    int
+}
+
+// splay moves the node closest to k (k itself if present) to the root.
+func (t *splayTree) splay(k bkey) {
+	if t.root == nil {
+		return
+	}
+	var header splayNode
+	l, r := &header, &header
+	cur := t.root
+	for {
+		if k.less(cur.k) {
+			if cur.left == nil {
+				break
+			}
+			if k.less(cur.left.k) {
+				y := cur.left // rotate right
+				cur.left = y.right
+				y.right = cur
+				cur = y
+				if cur.left == nil {
+					break
+				}
+			}
+			r.left = cur // link right
+			r = cur
+			cur = cur.left
+		} else if cur.k.less(k) {
+			if cur.right == nil {
+				break
+			}
+			if cur.right.k.less(k) {
+				y := cur.right // rotate left
+				cur.right = y.left
+				y.left = cur
+				cur = y
+				if cur.right == nil {
+					break
+				}
+			}
+			l.right = cur // link left
+			l = cur
+			cur = cur.right
+		} else {
+			break
+		}
+	}
+	l.right = cur.left
+	r.left = cur.right
+	cur.left = header.right
+	cur.right = header.left
+	t.root = cur
+}
+
+func (t *splayTree) newNode(k bkey) *splayNode {
+	if n := t.free; n != nil {
+		t.free = n.right
+		n.k = k
+		n.left, n.right = nil, nil
+		return n
+	}
+	return &splayNode{k: k}
+}
+
+func (t *splayTree) putNode(n *splayNode) {
+	n.left = nil
+	n.right = t.free
+	t.free = n
+}
+
+// insert adds k; the new node becomes the root (the property the
+// paper's recycling analysis hinges on). Duplicate keys are impossible
+// because offsets are unique; inserting one panics.
+func (t *splayTree) insert(k bkey) {
+	n := t.newNode(k)
+	if t.root == nil {
+		t.root = n
+		t.n++
+		return
+	}
+	t.splay(k)
+	switch {
+	case k.less(t.root.k):
+		n.left = t.root.left
+		n.right = t.root
+		t.root.left = nil
+	case t.root.k.less(k):
+		n.right = t.root.right
+		n.left = t.root
+		t.root.right = nil
+	default:
+		panic("alloc: duplicate free block")
+	}
+	t.root = n
+	t.n++
+}
+
+// deleteRoot removes the root and joins its subtrees.
+func (t *splayTree) deleteRoot() {
+	old := t.root
+	if old.left == nil {
+		t.root = old.right
+	} else {
+		// Splaying the left subtree with old's key (greater than all
+		// of its keys) brings its maximum to the root, which then has
+		// no right child.
+		sub := splayTree{root: old.left}
+		sub.splay(old.k)
+		sub.root.right = old.right
+		t.root = sub.root
+	}
+	t.putNode(old)
+	t.n--
+}
+
+// takeFit removes and returns the first matching block for a request
+// of `want` bytes, or ok=false when none fits. "First matching" is the
+// libc behaviour the paper describes: the search descends from the
+// root and stops at the first exact-size match it meets — which, right
+// after a free of that size, is the newly splayed root, so the most
+// recently deallocated block is reallocated first (LIFO recycling).
+// When no exact size exists, the smallest fitting size is returned
+// (best fit), as a BST search naturally yields.
+func (t *splayTree) takeFit(want uint32) (bkey, bool) {
+	cur := t.root
+	var best *splayNode
+	for cur != nil {
+		if cur.k.size >= want {
+			best = cur
+			if cur.k.size == want {
+				break // first exact match: nearest the root = most recent
+			}
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+	if best == nil {
+		return bkey{}, false
+	}
+	k := best.k
+	t.splay(k) // exact key: comes to the root
+	t.deleteRoot()
+	return k, true
+}
+
+// remove deletes an exact key, reporting whether it was present.
+func (t *splayTree) remove(k bkey) bool {
+	if t.root == nil {
+		return false
+	}
+	t.splay(k)
+	if t.root.k != k {
+		return false
+	}
+	t.deleteRoot()
+	return true
+}
+
+// len reports the number of free blocks in the tree.
+func (t *splayTree) len() int { return t.n }
+
+// walk visits keys in order; tests use it to validate BST invariants.
+func (t *splayTree) walk(visit func(bkey)) {
+	var rec func(n *splayNode)
+	rec = func(n *splayNode) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		visit(n.k)
+		rec(n.right)
+	}
+	rec(t.root)
+}

@@ -1,0 +1,52 @@
+// Package cli holds the small helpers shared by the experiment tools
+// in cmd/: list parsing and output selection.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// ParseIntList parses a comma-separated list of positive integers,
+// e.g. "1,4,16,64".
+func ParseIntList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %v", part, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("non-positive value %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseNameList parses a comma-separated list of names, trimming
+// whitespace and dropping empties.
+func ParseNameList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Emit renders the table as CSV or aligned text.
+func Emit(t *stats.Table, csv bool) string {
+	if csv {
+		return t.CSV()
+	}
+	return t.Render()
+}

@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestParseIntList(t *testing.T) {
+	got, err := ParseIntList("1, 4,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 16 {
+		t.Fatalf("got %v", got)
+	}
+	for _, bad := range []string{"", "a", "1,,2", "0", "-3", "1,x"} {
+		if _, err := ParseIntList(bad); err == nil {
+			t.Errorf("ParseIntList(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseNameList(t *testing.T) {
+	got := ParseNameList(" mcs, c-bo-mcs ,,hbo ")
+	want := []string{"mcs", "c-bo-mcs", "hbo"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestEmit(t *testing.T) {
+	tb := stats.NewTable("x", "a")
+	tb.AddRow("1")
+	if !strings.Contains(Emit(tb, true), "a\n1\n") {
+		t.Error("CSV emit wrong")
+	}
+	if !strings.Contains(Emit(tb, false), "# x") {
+		t.Error("text emit wrong")
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/numa"
+	"repro/internal/spin"
+)
+
+func deadlineFrom(d time.Duration) int64 { return spin.Deadline(d) }
+
+// CohortLock is the generic (non-abortable) lock cohorting
+// transformation: one thread-oblivious global lock plus one
+// cohort-detecting local lock per cluster. It implements the paper's
+// lock/unlock protocol of §2.1 verbatim and satisfies locks.Mutex.
+type CohortLock struct {
+	global Global
+	local  []Local
+	state  []clusterState
+	limit  int64
+}
+
+// NewCohortLock assembles a cohort lock over topo. newLocal is invoked
+// once per cluster to build that cluster's local lock; global is the
+// shared thread-oblivious lock. This is the user-facing composition
+// point: any pair of locks with the required properties may be
+// combined (see the named constructions for the paper's seven).
+func NewCohortLock(topo *numa.Topology, global Global, newLocal func(cluster int) Local, opts ...Option) *CohortLock {
+	o := buildOptions(opts)
+	l := &CohortLock{
+		global: global,
+		local:  make([]Local, topo.Clusters()),
+		state:  make([]clusterState, topo.Clusters()),
+		limit:  o.HandoffLimit,
+	}
+	for c := range l.local {
+		l.local[c] = newLocal(c)
+	}
+	return l
+}
+
+// Lock acquires the cohort lock: local lock first, then — only if the
+// local release state demands it — the global lock.
+func (l *CohortLock) Lock(p *numa.Proc) {
+	c := p.Cluster()
+	if l.local[c].Lock(p) == ReleaseGlobal {
+		l.global.Lock(p)
+		l.state[c].passes = 0
+	}
+}
+
+// Unlock releases the cohort lock. If a cohort thread is waiting and
+// the hand-off budget permits, only the local lock is released (in
+// local-release state), keeping the global lock cluster-resident;
+// otherwise the global lock is released first and the local lock is
+// left in global-release state.
+func (l *CohortLock) Unlock(p *numa.Proc) {
+	c := p.Cluster()
+	st := &l.state[c]
+	s := l.local[c]
+	if (l.limit < 0 || st.passes < l.limit) && !s.Alone(p) {
+		st.passes++
+		s.Unlock(p, ReleaseLocal)
+		return
+	}
+	st.passes = 0
+	l.global.Unlock(p)
+	s.Unlock(p, ReleaseGlobal)
+}
+
+// HandoffLimit reports the configured may-pass-local bound.
+func (l *CohortLock) HandoffLimit() int64 { return l.limit }
+
+// AbortableCohortLock is the abortable lock cohorting transformation
+// (paper §3.6): global and local components support bounded patience,
+// and local release only hands the global lock to viable successors.
+// It satisfies locks.TryMutex.
+type AbortableCohortLock struct {
+	global AbortableGlobal
+	local  []AbortableLocal
+	state  []clusterState
+	limit  int64
+}
+
+// NewAbortableCohortLock assembles an abortable cohort lock; see
+// NewCohortLock for the composition contract.
+func NewAbortableCohortLock(topo *numa.Topology, global AbortableGlobal, newLocal func(cluster int) AbortableLocal, opts ...Option) *AbortableCohortLock {
+	o := buildOptions(opts)
+	l := &AbortableCohortLock{
+		global: global,
+		local:  make([]AbortableLocal, topo.Clusters()),
+		state:  make([]clusterState, topo.Clusters()),
+		limit:  o.HandoffLimit,
+	}
+	for c := range l.local {
+		l.local[c] = newLocal(c)
+	}
+	return l
+}
+
+// TryLockFor attempts to acquire the cohort lock, abandoning after
+// patience. A thread that wins the local lock in global-release state
+// but times out on the global lock re-releases the local lock in
+// global-release state (it never held the global lock, so this cannot
+// strand it) and reports failure.
+func (l *AbortableCohortLock) TryLockFor(p *numa.Proc, patience time.Duration) bool {
+	deadline := deadlineFrom(patience)
+	c := p.Cluster()
+	r, ok := l.local[c].TryLock(p, deadline)
+	if !ok {
+		return false
+	}
+	if r == ReleaseGlobal {
+		if !l.global.TryLock(p, deadline) {
+			l.local[c].Unlock(p, false, func() {})
+			return false
+		}
+		l.state[c].passes = 0
+	}
+	return true
+}
+
+// Unlock releases the cohort lock, delegating the viable-successor
+// race to the local lock (see AbortableLocal).
+func (l *AbortableCohortLock) Unlock(p *numa.Proc) {
+	c := p.Cluster()
+	st := &l.state[c]
+	s := l.local[c]
+	wantLocal := (l.limit < 0 || st.passes < l.limit) && !s.Alone(p)
+	if wantLocal {
+		st.passes++
+	}
+	// The pass-count reset must precede the global release inside the
+	// callback: once the global lock drops, a new holder may write the
+	// counter, and the global lock's acquire/release atomics are what
+	// order the two accesses.
+	s.Unlock(p, wantLocal, func() {
+		st.passes = 0
+		l.global.Unlock(p)
+	})
+}
+
+// HandoffLimit reports the configured may-pass-local bound.
+func (l *AbortableCohortLock) HandoffLimit() int64 { return l.limit }

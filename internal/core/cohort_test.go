@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/numa"
+)
+
+// fakeGlobal is a single-threaded protocol probe for the global slot.
+type fakeGlobal struct {
+	held    bool
+	locks   int
+	unlocks int
+	t       *testing.T
+}
+
+func (g *fakeGlobal) Lock(_ *numa.Proc) {
+	if g.held {
+		g.t.Fatal("global lock acquired while already held")
+	}
+	g.held = true
+	g.locks++
+}
+
+func (g *fakeGlobal) Unlock(_ *numa.Proc) {
+	if !g.held {
+		g.t.Fatal("global lock released while not held")
+	}
+	g.held = false
+	g.unlocks++
+}
+
+func (g *fakeGlobal) TryLock(_ *numa.Proc, _ int64) bool {
+	if g.held {
+		return false
+	}
+	g.held = true
+	g.locks++
+	return true
+}
+
+// fakeLocal is a single-threaded protocol probe for the local slot.
+type fakeLocal struct {
+	state   Release // state the next Lock returns
+	held    bool
+	waiter  bool // drives Alone
+	history []Release
+	t       *testing.T
+}
+
+func (l *fakeLocal) Lock(_ *numa.Proc) Release {
+	if l.held {
+		l.t.Fatal("local lock acquired while already held")
+	}
+	l.held = true
+	return l.state
+}
+
+func (l *fakeLocal) Unlock(_ *numa.Proc, r Release) {
+	if !l.held {
+		l.t.Fatal("local lock released while not held")
+	}
+	l.held = false
+	l.state = r
+	l.history = append(l.history, r)
+}
+
+func (l *fakeLocal) Alone(_ *numa.Proc) bool { return !l.waiter }
+
+func oneClusterTopo() *numa.Topology { return numa.New(1, 4) }
+
+func TestCohortProtocolGlobalAcquiredOnGlobalRelease(t *testing.T) {
+	topo := oneClusterTopo()
+	fg := &fakeGlobal{t: t}
+	fl := &fakeLocal{t: t}
+	c := NewCohortLock(topo, fg, func(int) Local { return fl })
+	p := topo.Proc(0)
+
+	c.Lock(p)
+	if fg.locks != 1 {
+		t.Fatalf("global locks = %d, want 1 (fresh lock is global-release)", fg.locks)
+	}
+	c.Unlock(p) // no waiter: must release globally
+	if fg.unlocks != 1 {
+		t.Fatalf("global unlocks = %d, want 1", fg.unlocks)
+	}
+	if got := fl.history[len(fl.history)-1]; got != ReleaseGlobal {
+		t.Fatalf("local release state = %v, want release-global", got)
+	}
+}
+
+func TestCohortProtocolLocalHandoffSkipsGlobal(t *testing.T) {
+	topo := oneClusterTopo()
+	fg := &fakeGlobal{t: t}
+	fl := &fakeLocal{t: t, waiter: true}
+	c := NewCohortLock(topo, fg, func(int) Local { return fl })
+	p := topo.Proc(0)
+
+	c.Lock(p) // global acquired
+	c.Unlock(p)
+	if fg.unlocks != 0 {
+		t.Fatal("global lock released despite a waiting cohort")
+	}
+	if got := fl.history[len(fl.history)-1]; got != ReleaseLocal {
+		t.Fatalf("local release state = %v, want release-local", got)
+	}
+
+	// The next local acquisition inherits the global lock.
+	c.Lock(p)
+	if fg.locks != 1 {
+		t.Fatalf("global locks = %d, want still 1 (inherited)", fg.locks)
+	}
+	fl.waiter = false
+	c.Unlock(p)
+	if fg.unlocks != 1 {
+		t.Fatal("global lock not released once the cohort emptied")
+	}
+}
+
+func TestCohortProtocolHandoffLimit(t *testing.T) {
+	topo := oneClusterTopo()
+	fg := &fakeGlobal{t: t}
+	fl := &fakeLocal{t: t, waiter: true} // perpetual waiter
+	c := NewCohortLock(topo, fg, func(int) Local { return fl }, WithHandoffLimit(3))
+	p := topo.Proc(0)
+
+	for i := 0; i < 4; i++ {
+		c.Lock(p)
+		c.Unlock(p)
+	}
+	// Hand-offs 1..3 local, 4th must release the global lock.
+	if fg.unlocks != 1 {
+		t.Fatalf("global unlocks = %d, want 1 after limit exhausted", fg.unlocks)
+	}
+	wantStates := []Release{ReleaseLocal, ReleaseLocal, ReleaseLocal, ReleaseGlobal}
+	for i, want := range wantStates {
+		if fl.history[i] != want {
+			t.Fatalf("release %d = %v, want %v", i, fl.history[i], want)
+		}
+	}
+	// Budget must reset after a global release.
+	c.Lock(p)
+	c.Unlock(p)
+	if got := fl.history[len(fl.history)-1]; got != ReleaseLocal {
+		t.Fatalf("post-reset release = %v, want release-local", got)
+	}
+}
+
+func TestCohortProtocolUnboundedHandoffs(t *testing.T) {
+	topo := oneClusterTopo()
+	fg := &fakeGlobal{t: t}
+	fl := &fakeLocal{t: t, waiter: true}
+	c := NewCohortLock(topo, fg, func(int) Local { return fl }, WithHandoffLimit(-1))
+	p := topo.Proc(0)
+
+	for i := 0; i < 500; i++ {
+		c.Lock(p)
+		c.Unlock(p)
+	}
+	if fg.unlocks != 0 {
+		t.Fatalf("unbounded cohort released the global lock %d times", fg.unlocks)
+	}
+}
+
+func TestDefaultHandoffLimitApplied(t *testing.T) {
+	topo := oneClusterTopo()
+	c := NewCBOMCS(topo)
+	if got := c.HandoffLimit(); got != DefaultHandoffLimit {
+		t.Fatalf("HandoffLimit = %d, want %d", got, DefaultHandoffLimit)
+	}
+	a := NewACBOCLH(topo, WithHandoffLimit(7))
+	if got := a.HandoffLimit(); got != 7 {
+		t.Fatalf("abortable HandoffLimit = %d, want 7", got)
+	}
+}
+
+func TestReleaseString(t *testing.T) {
+	if ReleaseGlobal.String() != "release-global" ||
+		ReleaseLocal.String() != "release-local" ||
+		Release(9).String() != "release-invalid" {
+		t.Fatal("Release.String mismatch")
+	}
+}

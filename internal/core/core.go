@@ -1,0 +1,155 @@
+// Package core implements the paper's contribution: the lock cohorting
+// transformation (Dice, Marathe, Shavit; PPoPP 2012).
+//
+// A cohort lock composes one thread-oblivious global lock G with one
+// cohort-detecting local lock S_i per NUMA cluster. A thread acquires
+// its cluster's S_i; the state S_i was released in tells it whether the
+// cluster already owns G (local release — enter the critical section
+// immediately) or whether it must acquire G itself (global release). A
+// releasing thread that detects waiting cohort threads — and has not
+// exhausted the may-pass-local hand-off budget — releases S_i in local
+// release state without touching G, passing global ownership within
+// the cluster at the cost of a purely cluster-local operation.
+//
+// The package provides the generic transformation (CohortLock and, for
+// timeout-capable locks, AbortableCohortLock), cohort-detecting local
+// adaptations of the BO, ticket, MCS and A-CLH locks, thread-oblivious
+// global BO, ticket and MCS locks, and the paper's seven named
+// constructions (C-BO-BO, C-TKT-TKT, C-BO-MCS, C-TKT-MCS, C-MCS-MCS,
+// A-C-BO-BO, A-C-BO-CLH).
+package core
+
+import (
+	"time"
+
+	"repro/internal/numa"
+)
+
+// Release is the state a cohort local lock is released in. It is the
+// signal that makes cohorting work: it tells the next local acquirer
+// whether its cluster still holds the global lock.
+type Release int32
+
+const (
+	// ReleaseGlobal means the global lock was released alongside the
+	// local lock: the next local owner must acquire the global lock
+	// before entering the critical section. This is also the state of
+	// a fresh (never held) lock.
+	ReleaseGlobal Release = iota
+	// ReleaseLocal means the releasing thread kept the global lock on
+	// behalf of the cluster: the next local owner inherits it and may
+	// enter the critical section directly.
+	ReleaseLocal
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (r Release) String() string {
+	switch r {
+	case ReleaseGlobal:
+		return "release-global"
+	case ReleaseLocal:
+		return "release-local"
+	default:
+		return "release-invalid"
+	}
+}
+
+// Global is a thread-oblivious mutual-exclusion lock: in any execution
+// the unlock matching a lock call may be performed by a different
+// thread. The paper's definition, §2.1.
+type Global interface {
+	Lock(p *numa.Proc)
+	Unlock(p *numa.Proc)
+}
+
+// Local is a cohort-detecting mutual-exclusion lock. Lock returns the
+// release state the previous owner left (ReleaseGlobal for a fresh
+// lock); Unlock releases in the given state. Alone corresponds to the
+// paper's alone? predicate: if no other thread is concurrently
+// executing Lock, it returns true. False positives (reporting alone
+// while a waiter exists) are permitted — they cost an unnecessary
+// global release; false negatives would deadlock and are forbidden.
+type Local interface {
+	Lock(p *numa.Proc) Release
+	Unlock(p *numa.Proc, r Release)
+	Alone(p *numa.Proc) bool
+}
+
+// AbortableGlobal is a thread-oblivious lock supporting bounded-
+// patience acquisition. TryLock returns false if the deadline (a
+// spin.Now-based timestamp) passes first.
+type AbortableGlobal interface {
+	TryLock(p *numa.Proc, deadline int64) bool
+	Unlock(p *numa.Proc)
+}
+
+// AbortableLocal is a cohort-detecting lock whose waiters may abort.
+// The cohort-detection property is strengthened (paper §3.6): a local
+// release may only hand the global lock to a *viable* successor — one
+// that can no longer abort. Because closing that race is intrinsic to
+// each lock's representation, Unlock owns the whole release protocol:
+//
+//   - If wantLocal is true and a viable successor exists, Unlock
+//     releases in local-release state and returns without invoking
+//     releaseGlobal.
+//   - Otherwise Unlock invokes releaseGlobal exactly once and leaves
+//     the lock in global-release state (a no-op releaseGlobal lets a
+//     thread that never held the global lock abandon the local lock).
+//
+// TryLock returns (state, true) on acquisition — which may occur even
+// after the deadline if a hand-off wins the race against the abort, as
+// in Scott's A-CLH — and (0, false) if the attempt was abandoned.
+type AbortableLocal interface {
+	TryLock(p *numa.Proc, deadline int64) (Release, bool)
+	Unlock(p *numa.Proc, wantLocal bool, releaseGlobal func())
+	Alone(p *numa.Proc) bool
+}
+
+// DefaultHandoffLimit is the paper's bound on consecutive local
+// hand-offs (may-pass-local): after 64 in-cluster transfers the global
+// lock must be released to keep long-term fairness.
+const DefaultHandoffLimit = 64
+
+// Options configures a cohort lock.
+type Options struct {
+	// HandoffLimit bounds consecutive local hand-offs. Zero selects
+	// DefaultHandoffLimit; a negative value removes the bound entirely
+	// (the "deeply unfair" variant the paper ablates, ~10% faster
+	// under high contention at the price of starvation).
+	HandoffLimit int64
+}
+
+// Option mutates Options; see WithHandoffLimit.
+type Option func(*Options)
+
+// WithHandoffLimit sets Options.HandoffLimit.
+func WithHandoffLimit(n int64) Option {
+	return func(o *Options) { o.HandoffLimit = n }
+}
+
+func buildOptions(opts []Option) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.HandoffLimit == 0 {
+		o.HandoffLimit = DefaultHandoffLimit
+	}
+	return o
+}
+
+// clusterState is per-cluster bookkeeping, touched only while the
+// cohort lock is held by a thread of that cluster (mutual exclusion
+// plus the local lock's acquire/release atomics order these plain
+// accesses).
+type clusterState struct {
+	passes int64 // consecutive local hand-offs since last global release
+	_      numa.Pad
+}
+
+// Patience converts a TryLockFor-style duration into the deadline
+// representation used by the abortable interfaces. Exposed for callers
+// composing their own abortable locks.
+func Patience(d time.Duration) int64 {
+	return deadlineFrom(d)
+}

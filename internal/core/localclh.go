@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/numa"
+	"repro/internal/spin"
+)
+
+// lclhNode is one record of the cohort-detecting CLH lock. The waiter
+// spins on its predecessor's node; the release state is therefore
+// carried on the releaser's own node rather than the successor's (the
+// mirror image of LocalMCS).
+type lclhNode struct {
+	state  atomic.Int32 // lmcsBusy / lmcsLocal / lmcsGlobal
+	parker spin.Parker  // wakes whichever thread watches this node
+	_      numa.Pad
+}
+
+// LocalCLH is a cohort-detecting CLH queue lock: the non-abortable
+// sibling of ACLHLocal. The paper presents MCS-based locals (§3.3) and
+// notes that "most locks can be used in the cohort locking
+// transformation"; CLH qualifies exactly like MCS — implicit-
+// predecessor spinning keeps waiting local, release states widen to
+// {busy, release-local, release-global}, and cohort detection is a
+// tail check. Composing it under a global BO lock yields C-BO-CLH
+// (see NewCBOCLH), an additional construction beyond the paper's
+// seven.
+type LocalCLH struct {
+	tail atomic.Pointer[lclhNode]
+	_    numa.Pad
+	// Per-proc slots: the node currently enqueued (holder, for Alone
+	// and Unlock), the predecessor node to recycle, and the node to
+	// use for the next acquisition.
+	holder []*lclhNode
+	pred   []*lclhNode
+	next   []*lclhNode
+}
+
+// NewLocalCLH returns a cohort-detecting CLH lock.
+func NewLocalCLH(topo *numa.Topology) *LocalCLH {
+	l := &LocalCLH{
+		holder: make([]*lclhNode, topo.MaxProcs()),
+		pred:   make([]*lclhNode, topo.MaxProcs()),
+		next:   make([]*lclhNode, topo.MaxProcs()),
+	}
+	for i := range l.next {
+		l.next[i] = &lclhNode{parker: spin.MakeParker()}
+	}
+	dummy := &lclhNode{parker: spin.MakeParker()}
+	dummy.state.Store(lmcsGlobal) // fresh lock: next owner acquires G
+	l.tail.Store(dummy)
+	return l
+}
+
+// Lock enqueues and waits on the predecessor's node; the predecessor's
+// release state is the inherited state. The predecessor's node is
+// adopted for this proc's next acquisition (standard CLH rotation).
+func (l *LocalCLH) Lock(p *numa.Proc) Release {
+	id := p.ID()
+	n := l.next[id]
+	n.state.Store(lmcsBusy)
+	pred := l.tail.Swap(n)
+	pred.parker.Wait(func() bool { return pred.state.Load() != lmcsBusy })
+	r := lmcsToRelease(pred.state.Load())
+	l.holder[id] = n
+	l.pred[id] = pred
+	return r
+}
+
+// Unlock publishes the release state on the holder's node and recycles
+// the predecessor's node.
+func (l *LocalCLH) Unlock(p *numa.Proc, r Release) {
+	id := p.ID()
+	n := l.holder[id]
+	l.holder[id] = nil
+	l.next[id] = l.pred[id]
+	l.pred[id] = nil
+	n.state.Store(lmcsFromRelease(r))
+	n.parker.Wake()
+}
+
+// Alone reports whether the holder's node is still the tail: no later
+// request has been posted. Unlike MCS there is no link to lag, so no
+// false positives occur — only benign false negatives are impossible
+// too (the tail moves exactly when a request enqueues, and CLH waiters
+// cannot abort).
+func (l *LocalCLH) Alone(p *numa.Proc) bool {
+	return l.tail.Load() == l.holder[p.ID()]
+}

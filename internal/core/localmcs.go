@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/numa"
+	"repro/internal/spin"
+)
+
+// Local MCS node states: the classic busy/released pair widened to
+// carry the cohort release state (paper §3.3).
+const (
+	lmcsBusy   int32 = 0
+	lmcsLocal  int32 = 1
+	lmcsGlobal int32 = 2
+)
+
+func lmcsToRelease(s int32) Release {
+	if s == lmcsLocal {
+		return ReleaseLocal
+	}
+	return ReleaseGlobal
+}
+
+func lmcsFromRelease(r Release) int32 {
+	if r == ReleaseLocal {
+		return lmcsLocal
+	}
+	return lmcsGlobal
+}
+
+// lmcsNode is one thread's record in the local MCS queue.
+type lmcsNode struct {
+	next   atomic.Pointer[lmcsNode]
+	state  atomic.Int32
+	parker spin.Parker
+	_      numa.Pad
+}
+
+// LocalMCS is the cohort-detecting MCS lock used by C-BO-MCS,
+// C-TKT-MCS and C-MCS-MCS (paper §3.3). MCS provides cohort detection
+// by design — the alone? predicate is a null check on the successor
+// pointer — and retains local spinning: each waiter spins only on its
+// own queue node, the property that makes the MCS-local cohort locks
+// scale best in the paper.
+type LocalMCS struct {
+	tail  atomic.Pointer[lmcsNode]
+	_     numa.Pad
+	nodes []lmcsNode // one per proc; sized for the whole topology
+}
+
+// NewLocalMCS returns a cohort-detecting MCS lock. Nodes are indexed
+// by proc id, so the lock accepts any proc of the topology even though
+// only one cluster's procs normally use it.
+func NewLocalMCS(topo *numa.Topology) *LocalMCS {
+	l := &LocalMCS{nodes: make([]lmcsNode, topo.MaxProcs())}
+	for i := range l.nodes {
+		l.nodes[i].parker = spin.MakeParker()
+	}
+	return l
+}
+
+// Lock enqueues and spins on the caller's own node. A thread that
+// finds the tail empty has no predecessor to inherit from and is in
+// global-release state by definition.
+func (l *LocalMCS) Lock(p *numa.Proc) Release {
+	n := &l.nodes[p.ID()]
+	n.next.Store(nil)
+	n.state.Store(lmcsBusy)
+	pred := l.tail.Swap(n)
+	if pred == nil {
+		return ReleaseGlobal
+	}
+	pred.next.Store(n)
+	n.parker.Wait(func() bool { return n.state.Load() != lmcsBusy })
+	return lmcsToRelease(n.state.Load())
+}
+
+// Unlock hands the release state to the successor, or empties the
+// queue. If a successor linked after the caller's Alone check, it
+// simply receives whatever state the caller decided — at worst an
+// unnecessary global-release.
+func (l *LocalMCS) Unlock(p *numa.Proc, r Release) {
+	n := &l.nodes[p.ID()]
+	next := n.next.Load()
+	if next == nil {
+		if l.tail.CompareAndSwap(n, nil) {
+			return
+		}
+		for i := 0; ; i++ {
+			if next = n.next.Load(); next != nil {
+				break
+			}
+			spin.Poll(i)
+		}
+	}
+	next.state.Store(lmcsFromRelease(r))
+	next.parker.Wake()
+}
+
+// Alone reports whether the caller's node has no linked successor.
+// False positives are possible (a successor swapped the tail but has
+// not linked yet), which the protocol tolerates.
+func (l *LocalMCS) Alone(p *numa.Proc) bool {
+	return l.nodes[p.ID()].next.Load() == nil
+}

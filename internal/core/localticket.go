@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/numa"
+	"repro/internal/spin"
+)
+
+// LocalTicket is the cohort-detecting ticket lock of C-TKT-TKT (paper
+// §3.2). Cohort detection is free: waiters exist exactly when the
+// request counter is ahead of the holder's ticket. Local hand-off uses
+// the top-granted flag: the releaser sets it before incrementing
+// grant, telling the next ticket holder it inherited the global lock;
+// that thread resets the flag on observing it.
+type LocalTicket struct {
+	request atomic.Uint64
+	_       numa.Pad
+	grant   atomic.Uint64
+	_pg     numa.Pad
+	// topGranted is written by the releaser strictly before the grant
+	// increment and read by the next owner strictly after it observes
+	// that increment.
+	topGranted atomic.Int32
+	_pt        numa.Pad
+	parkers    []localTicketSlot
+}
+
+type localTicketSlot struct {
+	p spin.Parker
+	_ numa.Pad
+}
+
+// NewLocalTicket returns a cohort-detecting ticket lock sized for
+// topo's processors (per-ticket parker slots, as in locks.Ticket).
+func NewLocalTicket(topo *numa.Topology) *LocalTicket {
+	l := &LocalTicket{parkers: make([]localTicketSlot, topo.MaxProcs())}
+	for i := range l.parkers {
+		l.parkers[i].p = spin.MakeParker()
+	}
+	return l
+}
+
+// Lock takes a ticket, waits for its grant, and consumes the
+// top-granted flag to learn the release state.
+func (l *LocalTicket) Lock(_ *numa.Proc) Release {
+	t := l.request.Add(1) - 1
+	if l.grant.Load() != t {
+		l.parkers[t%uint64(len(l.parkers))].p.Wait(func() bool { return l.grant.Load() == t })
+	}
+	if l.topGranted.Load() == 1 {
+		l.topGranted.Store(0)
+		return ReleaseLocal
+	}
+	return ReleaseGlobal
+}
+
+// Unlock releases, posting top-granted first on a local release, and
+// wakes the next ticket holder.
+func (l *LocalTicket) Unlock(_ *numa.Proc, r Release) {
+	if r == ReleaseLocal {
+		l.topGranted.Store(1)
+	}
+	g := l.grant.Add(1)
+	l.parkers[g%uint64(len(l.parkers))].p.Wake()
+}
+
+// Alone reports whether no later ticket has been requested. The holder
+// of ticket t observes grant == t and request >= t+1; waiters exist
+// exactly when request > t+1.
+func (l *LocalTicket) Alone(_ *numa.Proc) bool {
+	return l.request.Load() == l.grant.Load()+1
+}

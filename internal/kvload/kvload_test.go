@@ -1,0 +1,140 @@
+package kvload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cachesim"
+	"repro/internal/kvstore"
+	"repro/internal/locks"
+	"repro/internal/numa"
+)
+
+func fastStore(topo *numa.Topology) *kvstore.Store {
+	return kvstore.New(kvstore.Config{
+		Topo: topo, Lock: locks.NewPthread(),
+		Buckets: 1 << 10, Capacity: 1 << 14,
+		Cache:       cachesim.Config{LocalNs: 1, RemoteNs: 1},
+		ItemLocalNs: 1, ItemRemoteNs: 1,
+	})
+}
+
+func fastCfg(topo *numa.Topology, threads, getPct int) Config {
+	cfg := DefaultConfig(topo, threads, getPct)
+	cfg.Duration = 50 * time.Millisecond
+	cfg.Keyspace = 1000
+	cfg.ValueSize = 32
+	cfg.ThinkNs = 0
+	return cfg
+}
+
+func TestValidation(t *testing.T) {
+	topo := numa.New(4, 8)
+	s := fastStore(topo)
+	bad := []Config{
+		{},
+		fastCfgMod(topo, func(c *Config) { c.Threads = 9 }),
+		fastCfgMod(topo, func(c *Config) { c.Duration = 0 }),
+		fastCfgMod(topo, func(c *Config) { c.GetPct = 101 }),
+		fastCfgMod(topo, func(c *Config) { c.GetPct = -1 }),
+		fastCfgMod(topo, func(c *Config) { c.Keyspace = 0 }),
+		fastCfgMod(topo, func(c *Config) { c.ValueSize = 0 }),
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg, s); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func fastCfgMod(topo *numa.Topology, mod func(*Config)) Config {
+	cfg := fastCfg(topo, 4, 50)
+	mod(&cfg)
+	return cfg
+}
+
+func TestPopulateFillsKeyspace(t *testing.T) {
+	topo := numa.New(4, 8)
+	s := fastStore(topo)
+	Populate(s, topo.Proc(0), 500, 32)
+	if got := s.Len(topo.Proc(0)); got != 500 {
+		t.Fatalf("Len = %d, want 500", got)
+	}
+}
+
+func TestRunMixesOps(t *testing.T) {
+	topo := numa.New(4, 8)
+	s := fastStore(topo)
+	Populate(s, topo.Proc(0), 1000, 32)
+	cfg := fastCfg(topo, 8, 90)
+	res, err := Run(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations")
+	}
+	if res.Gets+res.Sets != res.Ops {
+		t.Fatalf("gets %d + sets %d != ops %d", res.Gets, res.Sets, res.Ops)
+	}
+	// 90% gets: gets should dominate clearly.
+	if res.Gets < res.Sets*3 {
+		t.Fatalf("mix off: %d gets vs %d sets at 90%%", res.Gets, res.Sets)
+	}
+	var sum uint64
+	for _, v := range res.PerThread {
+		sum += v
+	}
+	if sum != res.Ops {
+		t.Fatal("per-thread sum mismatch")
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+	// Pre-populated keyspace: gets overwhelmingly hit.
+	if res.Store.Hits == 0 {
+		t.Fatal("no hits against populated store")
+	}
+}
+
+func TestRunPureMixes(t *testing.T) {
+	topo := numa.New(4, 8)
+	for _, pct := range []int{0, 100} {
+		s := fastStore(topo)
+		Populate(s, topo.Proc(0), 1000, 32)
+		res, err := Run(fastCfg(topo, 4, pct), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pct == 0 && res.Gets != 0 {
+			t.Errorf("0%% gets produced %d gets", res.Gets)
+		}
+		if pct == 100 && res.Sets != 0 {
+			t.Errorf("100%% gets produced %d sets", res.Sets)
+		}
+	}
+}
+
+func TestRunWithCohortLock(t *testing.T) {
+	// Integration: KV store under a cohort lock, multi-cluster load.
+	topo := numa.New(4, 16)
+	s := kvstore.New(kvstore.Config{
+		Topo: topo, Lock: lockFromRegistry(topo),
+		Buckets: 1 << 10, Capacity: 1 << 14,
+		Cache:       cachesim.Config{LocalNs: 1, RemoteNs: 1},
+		ItemLocalNs: 1, ItemRemoteNs: 1,
+	})
+	Populate(s, topo.Proc(0), 1000, 32)
+	res, err := Run(fastCfg(topo, 16, 50), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("cohort-locked store made no progress")
+	}
+}
+
+func lockFromRegistry(topo *numa.Topology) locks.Mutex {
+	// Built directly to avoid an import cycle with registry in tests.
+	return locks.NewMCS(topo)
+}

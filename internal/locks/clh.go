@@ -1,0 +1,70 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"repro/internal/numa"
+	"repro/internal/spin"
+)
+
+// clhNode is one CLH queue record. Unlike MCS, a waiter spins on its
+// predecessor's node; releasing stores into one's own node. Nodes
+// therefore rotate between threads: an acquirer adopts its
+// predecessor's released node for its own next acquisition.
+type clhNode struct {
+	locked atomic.Int32 // 1 while the owning thread holds or waits for the lock
+	// parker wakes whichever thread watches this node (the node
+	// owner's queue successor).
+	parker spin.Parker
+	_      numa.Pad
+}
+
+func newCLHNode() *clhNode {
+	return &clhNode{parker: spin.MakeParker()}
+}
+
+// CLH is the queue lock of Craig, Landin and Hagersten. It underlies
+// the HCLH baseline and, in its abortable form (A-CLH), the paper's
+// A-C-BO-CLH construction.
+type CLH struct {
+	tail atomic.Pointer[clhNode]
+	_    numa.Pad
+	// my and pred are per-proc slots recording the node a thread
+	// enqueued and the predecessor node it must recycle on release.
+	my   []*clhNode
+	pred []*clhNode
+}
+
+// NewCLH returns an unlocked CLH lock sized for topo's processors.
+func NewCLH(topo *numa.Topology) *CLH {
+	l := &CLH{
+		my:   make([]*clhNode, topo.MaxProcs()),
+		pred: make([]*clhNode, topo.MaxProcs()),
+	}
+	for i := range l.my {
+		l.my[i] = newCLHNode()
+	}
+	dummy := newCLHNode() // unlocked sentinel: the queue is never empty
+	l.tail.Store(dummy)
+	return l
+}
+
+// Lock enqueues the caller's node and spins on the predecessor.
+func (l *CLH) Lock(p *numa.Proc) {
+	n := l.my[p.ID()]
+	n.locked.Store(1)
+	pred := l.tail.Swap(n)
+	l.pred[p.ID()] = pred
+	pred.parker.Wait(func() bool { return pred.locked.Load() == 0 })
+}
+
+// Unlock releases by clearing the caller's node and adopting the
+// predecessor's (now unreferenced) node for reuse.
+func (l *CLH) Unlock(p *numa.Proc) {
+	id := p.ID()
+	n := l.my[id]
+	l.my[id] = l.pred[id]
+	l.pred[id] = nil
+	n.locked.Store(0)
+	n.parker.Wake()
+}

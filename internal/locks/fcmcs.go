@@ -1,0 +1,182 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"repro/internal/numa"
+	"repro/internal/spin"
+)
+
+// Publication-slot states for FC-MCS.
+const (
+	fcIdle     int32 = 0 // no outstanding request
+	fcRequest  int32 = 1 // posted, waiting to be enlisted
+	fcEnqueued int32 = 2 // combiner placed the node in the queue
+)
+
+// fcSlot is a per-proc publication record scanned by the combiner.
+type fcSlot struct {
+	state atomic.Int32
+	_     numa.Pad
+}
+
+// combinerGate is a padded per-cluster TATAS lock electing the
+// flat-combining combiner.
+type combinerGate struct {
+	held atomic.Int32
+	_    numa.Pad
+}
+
+// FCMCS is the flat-combining MCS lock of Dice, Marathe and Shavit
+// (SPAA 2011), the strongest prior NUMA-aware lock in the paper's
+// comparison. Threads publish acquisition requests in a per-cluster
+// publication array; a combiner — elected with a cluster-local TATAS
+// gate — harvests posted requests into an MCS chain and splices the
+// chain into a single global MCS queue. Grants then flow down the
+// chain exactly as in HCLH.
+//
+// Deviation (documented in DESIGN.md): the publication list is a fixed
+// per-proc slot array rather than a dynamic list with aging, and the
+// combiner makes a fixed number of harvest passes. Batching behaviour
+// and the combiner-election cost — what the evaluation exercises — are
+// preserved.
+type FCMCS struct {
+	gtail atomic.Pointer[qNode]
+	_     numa.Pad
+	gates []combinerGate
+	slots []fcSlot
+	nodes []qNode
+	// members lists the proc ids of each cluster, the combiner's scan
+	// order.
+	members [][]int
+	// passes is how many harvest sweeps a combiner makes over its
+	// cluster's slots.
+	passes int
+}
+
+// DefaultFCPasses is the default number of combiner harvest passes.
+const DefaultFCPasses = 2
+
+// NewFCMCS returns an FC-MCS lock for the given topology.
+func NewFCMCS(topo *numa.Topology) *FCMCS {
+	return NewFCMCSPasses(topo, DefaultFCPasses)
+}
+
+// NewFCMCSPasses is NewFCMCS with an explicit combiner pass count.
+func NewFCMCSPasses(topo *numa.Topology, passes int) *FCMCS {
+	if passes < 1 {
+		passes = 1
+	}
+	l := &FCMCS{
+		gates:   make([]combinerGate, topo.Clusters()),
+		slots:   make([]fcSlot, topo.MaxProcs()),
+		nodes:   make([]qNode, topo.MaxProcs()),
+		members: make([][]int, topo.Clusters()),
+		passes:  passes,
+	}
+	for i := range l.nodes {
+		l.nodes[i].parker = spin.MakeParker()
+	}
+	for id := 0; id < topo.MaxProcs(); id++ {
+		c := topo.ClusterOf(id)
+		l.members[c] = append(l.members[c], id)
+	}
+	return l
+}
+
+// electAfter is how long a requester lingers on its publication slot
+// before trying to become the combiner itself. Flat combining lives on
+// this patience: arrivals inside the window ride an existing (or
+// about-to-be-elected) combiner's harvest instead of each splicing a
+// batch of one.
+const electAfter = 512
+
+// Lock publishes a request and waits for a grant, becoming the
+// cluster's combiner only after a patience window.
+func (l *FCMCS) Lock(p *numa.Proc) {
+	id := p.ID()
+	slot := &l.slots[id]
+	node := &l.nodes[id]
+	slot.state.Store(fcRequest)
+
+	gate := &l.gates[p.Cluster()]
+	for i := 0; slot.state.Load() == fcRequest; i++ {
+		// Bypass at low contention (the optimization the paper credits
+		// FC-MCS with, §4.1.3): when the global queue is empty there is
+		// no batch to wait for, so elect immediately.
+		eager := l.gtail.Load() == nil
+		if (eager || i >= electAfter) && gate.held.Load() == 0 && gate.held.CompareAndSwap(0, 1) {
+			if slot.state.Load() == fcRequest {
+				l.combine(p.Cluster())
+			}
+			gate.held.Store(0)
+			break // combine always enlists the combiner's own request
+		}
+		spin.Poll(i)
+	}
+	node.parker.Wait(func() bool { return node.status.Load() != qWait })
+}
+
+// combinePassPause is the wait between combiner harvest passes, in
+// pause units: long enough for in-flight requests to publish, so
+// batches form even at moderate per-cluster occupancy.
+const combinePassPause = 512
+
+// combine harvests posted requests from the cluster into a chain and
+// splices it into the global queue. Called with the cluster gate held.
+func (l *FCMCS) combine(cluster int) {
+	var head, tail *qNode
+	for pass := 0; pass < l.passes; pass++ {
+		if pass > 0 {
+			spin.Pause(combinePassPause)
+		}
+		for _, id := range l.members[cluster] {
+			s := &l.slots[id]
+			if s.state.Load() != fcRequest {
+				continue
+			}
+			nd := &l.nodes[id]
+			nd.next.Store(nil)
+			nd.status.Store(qWait)
+			if head == nil {
+				head = nd
+			} else {
+				tail.next.Store(nd)
+			}
+			tail = nd
+			s.state.Store(fcEnqueued)
+		}
+	}
+	if head == nil {
+		return
+	}
+	gpred := l.gtail.Swap(tail)
+	if gpred == nil {
+		head.status.Store(qGranted)
+		head.parker.Wake()
+		return
+	}
+	gpred.next.Store(head)
+}
+
+// Unlock passes the lock down the global chain, or empties it.
+func (l *FCMCS) Unlock(p *numa.Proc) {
+	id := p.ID()
+	n := &l.nodes[id]
+	next := n.next.Load()
+	if next == nil {
+		if l.gtail.CompareAndSwap(n, nil) {
+			l.slots[id].state.Store(fcIdle)
+			return
+		}
+		for i := 0; ; i++ {
+			if next = n.next.Load(); next != nil {
+				break
+			}
+			spin.Poll(i)
+		}
+	}
+	l.slots[id].state.Store(fcIdle)
+	next.status.Store(qGranted)
+	next.parker.Wake()
+}

@@ -1,0 +1,24 @@
+package locks
+
+import (
+	"sync"
+
+	"repro/internal/numa"
+)
+
+// Pthread adapts Go's blocking sync.Mutex to the Mutex interface. It
+// plays the role of the paper's pthread_mutex baseline: an
+// OS-arbitrated blocking lock with no NUMA awareness, the default that
+// memcached and the Solaris allocator are measured with.
+type Pthread struct {
+	mu sync.Mutex
+}
+
+// NewPthread returns an unlocked blocking mutex.
+func NewPthread() *Pthread { return &Pthread{} }
+
+// Lock blocks until the mutex is held.
+func (l *Pthread) Lock(_ *numa.Proc) { l.mu.Lock() }
+
+// Unlock releases the mutex.
+func (l *Pthread) Unlock(_ *numa.Proc) { l.mu.Unlock() }

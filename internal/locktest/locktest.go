@@ -1,0 +1,148 @@
+// Package locktest provides reusable correctness harnesses for the
+// lock implementations: mutual-exclusion stress checks for blocking
+// and abortable locks, driven through the same Proc handles the real
+// harnesses use. Every lock package's tests build on these.
+package locktest
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/locks"
+	"repro/internal/numa"
+	"repro/internal/spin"
+)
+
+// shared is the critical-section state a harness protects. count is a
+// pair of deliberately non-atomic counters: any mutual-exclusion
+// violation shows up both as a torn invariant and as a data race under
+// the race detector.
+type shared struct {
+	inCS       atomic.Int32
+	violations atomic.Int64
+	a, b       int64
+}
+
+// enter performs one guarded critical section.
+func (s *shared) enter() {
+	if s.inCS.Add(1) != 1 {
+		s.violations.Add(1)
+	}
+	s.a++
+	if s.a != s.b+1 {
+		s.violations.Add(1)
+	}
+	s.b++
+	s.inCS.Add(-1)
+}
+
+// CheckMutex stress-tests mutual exclusion: procs goroutines each
+// acquire m iters times around a shared critical section. It fails the
+// test on any exclusion violation or lost update.
+func CheckMutex(t *testing.T, topo *numa.Topology, m locks.Mutex, procs, iters int) {
+	t.Helper()
+	if procs > topo.MaxProcs() {
+		t.Fatalf("locktest: %d procs exceeds topology max %d", procs, topo.MaxProcs())
+	}
+	spin.AutoOversubscribe(procs)
+	var s shared
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := topo.Proc(id)
+			for k := 0; k < iters; k++ {
+				m.Lock(p)
+				s.enter()
+				m.Unlock(p)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if v := s.violations.Load(); v != 0 {
+		t.Fatalf("mutual exclusion violated %d times", v)
+	}
+	want := int64(procs * iters)
+	if s.a != want || s.b != want {
+		t.Fatalf("lost updates: counters (%d,%d), want %d", s.a, s.b, want)
+	}
+}
+
+// CheckTryMutex stress-tests an abortable lock: procs goroutines each
+// attempt iters acquisitions with the given patience; acquired
+// sections run the exclusion check, aborted attempts retry nothing. It
+// verifies exclusion, that the shared counter equals the number of
+// successful acquisitions, and that at least one attempt succeeded.
+// It returns (successes, aborts) so callers can assert on abort rates.
+func CheckTryMutex(t *testing.T, topo *numa.Topology, m locks.TryMutex, procs, iters int, patience time.Duration) (successes, aborts int64) {
+	t.Helper()
+	if procs > topo.MaxProcs() {
+		t.Fatalf("locktest: %d procs exceeds topology max %d", procs, topo.MaxProcs())
+	}
+	spin.AutoOversubscribe(procs)
+	var s shared
+	var okCount, abortCount atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := topo.Proc(id)
+			for k := 0; k < iters; k++ {
+				if m.TryLockFor(p, patience) {
+					s.enter()
+					m.Unlock(p)
+					okCount.Add(1)
+				} else {
+					abortCount.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if v := s.violations.Load(); v != 0 {
+		t.Fatalf("mutual exclusion violated %d times", v)
+	}
+	if got := okCount.Load(); s.a != got || s.b != got {
+		t.Fatalf("counters (%d,%d) disagree with %d successful acquisitions", s.a, s.b, got)
+	}
+	if okCount.Load() == 0 {
+		t.Fatal("no acquisition ever succeeded")
+	}
+	return okCount.Load(), abortCount.Load()
+}
+
+// CheckHandoff verifies a lock hands over between two specific procs
+// repeatedly without losing progress: proc 0 and proc 1 alternate via
+// the lock, each completing iters sections within the deadline.
+func CheckHandoff(t *testing.T, topo *numa.Topology, m locks.Mutex, iters int) {
+	t.Helper()
+	spin.AutoOversubscribe(2)
+	done := make(chan struct{}, 2)
+	var s shared
+	for i := 0; i < 2; i++ {
+		go func(id int) {
+			p := topo.Proc(id)
+			for k := 0; k < iters; k++ {
+				m.Lock(p)
+				s.enter()
+				m.Unlock(p)
+			}
+			done <- struct{}{}
+		}(i)
+	}
+	timeout := time.After(30 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-timeout:
+			t.Fatal("handoff stalled: possible lost wakeup or deadlock")
+		}
+	}
+	if v := s.violations.Load(); v != 0 {
+		t.Fatalf("mutual exclusion violated %d times", v)
+	}
+}

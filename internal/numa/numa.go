@@ -1,0 +1,145 @@
+// Package numa models the NUMA topology that lock cohorting targets.
+//
+// The paper's testbed exposes hardware NUMA clusters (one Niagara T2+
+// socket each) and binds threads to them. The Go runtime deliberately
+// hides OS threads, so this package substitutes an explicit software
+// topology: a Topology declares the number of clusters, and every
+// worker goroutine carries a *Proc handle that pins it to a logical
+// cluster for its lifetime. Cohort locks, the cache-coherence
+// simulator, and all harnesses consult only the Proc's cluster id and
+// dense proc id, which is the full extent of hardware knowledge the
+// paper's algorithms require.
+package numa
+
+import (
+	"fmt"
+
+	"repro/internal/spin"
+)
+
+// CacheLineBytes is the assumed coherence granularity. Padding uses
+// twice this to defeat adjacent-line prefetchers.
+const CacheLineBytes = 64
+
+// Pad is inserted between logically independent hot fields to prevent
+// false sharing.
+type Pad [2 * CacheLineBytes]byte
+
+// Placement controls how proc ids map to clusters.
+type Placement int
+
+const (
+	// RoundRobin spreads consecutive procs across clusters
+	// (proc i -> cluster i mod C). This matches how the paper's
+	// experiments load all four sockets at every thread count.
+	RoundRobin Placement = iota
+	// Packed fills one cluster before starting the next.
+	Packed
+)
+
+// Topology describes a machine as a set of symmetric clusters and a
+// bounded set of logical processors (worker threads). All lock
+// implementations size their per-thread state from MaxProcs, so the
+// topology fixes the maximum concurrency up front, mirroring the
+// paper's fixed 256-context machine.
+type Topology struct {
+	clusters  int
+	maxProcs  int
+	placement Placement
+	procs     []*Proc
+}
+
+// New returns a topology with the given cluster count and maximum
+// number of logical processors, using RoundRobin placement. It panics
+// on non-positive arguments, which indicate programmer error.
+func New(clusters, maxProcs int) *Topology {
+	return NewWithPlacement(clusters, maxProcs, RoundRobin)
+}
+
+// NewWithPlacement is New with an explicit placement policy.
+func NewWithPlacement(clusters, maxProcs int, placement Placement) *Topology {
+	if clusters <= 0 {
+		panic(fmt.Sprintf("numa: clusters = %d, must be positive", clusters))
+	}
+	if maxProcs <= 0 {
+		panic(fmt.Sprintf("numa: maxProcs = %d, must be positive", maxProcs))
+	}
+	t := &Topology{clusters: clusters, maxProcs: maxProcs, placement: placement}
+	t.procs = make([]*Proc, maxProcs)
+	for i := 0; i < maxProcs; i++ {
+		t.procs[i] = &Proc{
+			id:      i,
+			cluster: t.clusterOf(i),
+			rng:     spin.NewXorShift(uint64(i) + 1),
+		}
+	}
+	// The topology's processor count is the best available estimate of
+	// worker concurrency, so it selects the spin discipline (pure
+	// spinning with dedicated processors, spin-then-park beyond
+	// GOMAXPROCS). Harnesses refine this per run with the actual
+	// thread count.
+	spin.AutoOversubscribe(maxProcs)
+	return t
+}
+
+func (t *Topology) clusterOf(id int) int {
+	switch t.placement {
+	case Packed:
+		per := (t.maxProcs + t.clusters - 1) / t.clusters
+		c := id / per
+		if c >= t.clusters {
+			c = t.clusters - 1
+		}
+		return c
+	default:
+		return id % t.clusters
+	}
+}
+
+// Clusters reports the number of NUMA clusters.
+func (t *Topology) Clusters() int { return t.clusters }
+
+// MaxProcs reports the maximum number of logical processors; proc ids
+// are dense in [0, MaxProcs).
+func (t *Topology) MaxProcs() int { return t.maxProcs }
+
+// Proc returns the handle for logical processor id. Handles are
+// preallocated and stable; the same id always yields the same *Proc.
+// It panics if id is out of range.
+func (t *Topology) Proc(id int) *Proc {
+	if id < 0 || id >= t.maxProcs {
+		panic(fmt.Sprintf("numa: proc id %d out of range [0,%d)", id, t.maxProcs))
+	}
+	return t.procs[id]
+}
+
+// ClusterOf reports the cluster that proc id maps to under this
+// topology's placement.
+func (t *Topology) ClusterOf(id int) int {
+	if id < 0 || id >= t.maxProcs {
+		panic(fmt.Sprintf("numa: proc id %d out of range [0,%d)", id, t.maxProcs))
+	}
+	return t.procs[id].cluster
+}
+
+// Proc identifies one logical processor (worker thread). Exactly one
+// goroutine may use a given Proc at a time; handles carry per-thread
+// scratch state (an RNG) that is deliberately unsynchronized.
+type Proc struct {
+	id      int
+	cluster int
+	rng     spin.XorShift
+	_       Pad
+}
+
+// ID reports the dense processor id in [0, MaxProcs).
+func (p *Proc) ID() int { return p.id }
+
+// Cluster reports the NUMA cluster this processor belongs to.
+func (p *Proc) Cluster() int { return p.cluster }
+
+// Rand returns the next value of the processor-local RNG.
+func (p *Proc) Rand() uint64 { return p.rng.Next() }
+
+// RandN returns a processor-local pseudo-random value in [0, n).
+func (p *Proc) RandN(n int64) int64 { return p.rng.IntN(n) }

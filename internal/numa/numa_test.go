@@ -1,0 +1,136 @@
+package numa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	for _, tc := range []struct{ c, p int }{{0, 4}, {4, 0}, {-1, 4}, {4, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", tc.c, tc.p)
+				}
+			}()
+			New(tc.c, tc.p)
+		}()
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	topo := New(4, 16)
+	for i := 0; i < 16; i++ {
+		if got, want := topo.ClusterOf(i), i%4; got != want {
+			t.Errorf("ClusterOf(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestPackedPlacement(t *testing.T) {
+	topo := NewWithPlacement(4, 16, Packed)
+	// 16 procs over 4 clusters, 4 per cluster, filled in order.
+	for i := 0; i < 16; i++ {
+		if got, want := topo.ClusterOf(i), i/4; got != want {
+			t.Errorf("ClusterOf(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestPackedPlacementUnevenStaysInRange(t *testing.T) {
+	topo := NewWithPlacement(3, 10, Packed)
+	for i := 0; i < 10; i++ {
+		c := topo.ClusterOf(i)
+		if c < 0 || c >= 3 {
+			t.Fatalf("ClusterOf(%d) = %d out of range", i, c)
+		}
+	}
+	// Last proc lands in the last cluster even when division rounds.
+	if topo.ClusterOf(9) != 2 {
+		t.Errorf("ClusterOf(9) = %d, want 2", topo.ClusterOf(9))
+	}
+}
+
+func TestProcHandlesStable(t *testing.T) {
+	topo := New(2, 8)
+	for i := 0; i < 8; i++ {
+		a, b := topo.Proc(i), topo.Proc(i)
+		if a != b {
+			t.Fatalf("Proc(%d) returned distinct handles", i)
+		}
+		if a.ID() != i {
+			t.Fatalf("Proc(%d).ID() = %d", i, a.ID())
+		}
+		if a.Cluster() != topo.ClusterOf(i) {
+			t.Fatalf("Proc(%d).Cluster() = %d, want %d", i, a.Cluster(), topo.ClusterOf(i))
+		}
+	}
+}
+
+func TestProcOutOfRangePanics(t *testing.T) {
+	topo := New(2, 4)
+	for _, id := range []int{-1, 4, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Proc(%d) did not panic", id)
+				}
+			}()
+			topo.Proc(id)
+		}()
+	}
+}
+
+func TestPlacementCoverage(t *testing.T) {
+	check := func(clusters, procs uint8, packed bool) bool {
+		c := int(clusters%8) + 1
+		p := int(procs%32) + c // at least one proc per cluster
+		pl := RoundRobin
+		if packed {
+			pl = Packed
+		}
+		topo := NewWithPlacement(c, p, pl)
+		seen := make([]bool, c)
+		for i := 0; i < p; i++ {
+			cl := topo.ClusterOf(i)
+			if cl < 0 || cl >= c {
+				return false
+			}
+			seen[cl] = true
+		}
+		if !packed {
+			// RoundRobin with p >= c populates every cluster.
+			for _, s := range seen {
+				if !s {
+					return false
+				}
+			}
+			return true
+		}
+		// Packed populates a gap-free prefix of clusters.
+		gapSeen := false
+		for _, s := range seen {
+			if !s {
+				gapSeen = true
+			} else if gapSeen {
+				return false // populated cluster after a gap
+			}
+		}
+		return seen[0]
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcRandVaries(t *testing.T) {
+	topo := New(2, 4)
+	p0, p1 := topo.Proc(0), topo.Proc(1)
+	if p0.Rand() == p1.Rand() {
+		t.Fatal("distinct procs produced identical first random values")
+	}
+	v := p0.RandN(10)
+	if v < 0 || v >= 10 {
+		t.Fatalf("RandN(10) = %d out of range", v)
+	}
+}

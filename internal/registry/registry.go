@@ -1,0 +1,170 @@
+// Package registry maps the paper's lock names to factories, so every
+// harness, tool and benchmark selects locks the same way and reports
+// them under the paper's nomenclature.
+package registry
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/numa"
+)
+
+// Entry describes one lock under evaluation.
+type Entry struct {
+	// Name is the paper's name for the lock (lower-cased).
+	Name string
+	// Desc is a one-line description for tool output.
+	Desc string
+	// NewMutex builds a blocking instance; nil for abortable-only locks.
+	NewMutex func(topo *numa.Topology) locks.Mutex
+	// NewTry builds an abortable instance; nil for non-abortable locks.
+	NewTry func(topo *numa.Topology) locks.TryMutex
+	// Cohort marks the paper's contributed locks.
+	Cohort bool
+	// Extension marks locks beyond the paper's evaluation set (enabled
+	// by the transformation but not part of its figures/tables).
+	Extension bool
+}
+
+// entries is the master list, in the paper's presentation order.
+var entries = []Entry{
+	{
+		Name: "pthread", Desc: "blocking mutex baseline (sync.Mutex, plays pthread_mutex)",
+		NewMutex: func(*numa.Topology) locks.Mutex { return locks.NewPthread() },
+	},
+	{
+		Name: "fib-bo", Desc: "test-and-test-and-set lock with Fibonacci backoff",
+		NewMutex: func(*numa.Topology) locks.Mutex { return locks.NewBO(locks.FibBOConfig()) },
+	},
+	{
+		Name: "mcs", Desc: "MCS queue lock (NUMA-oblivious baseline)",
+		NewMutex: func(t *numa.Topology) locks.Mutex { return locks.NewMCS(t) },
+	},
+	{
+		Name: "hbo", Desc: "hierarchical backoff lock, microbenchmark-tuned parameters",
+		NewMutex: func(*numa.Topology) locks.Mutex { return locks.NewHBO(locks.LBenchHBOConfig()) },
+		NewTry:   func(*numa.Topology) locks.TryMutex { return locks.NewHBO(locks.LBenchHBOConfig()) },
+	},
+	{
+		Name: "hbo-tuned", Desc: "hierarchical backoff lock, application-tuned parameters",
+		NewMutex: func(*numa.Topology) locks.Mutex { return locks.NewHBO(locks.AppHBOConfig()) },
+		NewTry:   func(*numa.Topology) locks.TryMutex { return locks.NewHBO(locks.AppHBOConfig()) },
+	},
+	{
+		Name: "hclh", Desc: "hierarchical CLH lock (Luchangco et al.)",
+		NewMutex: func(t *numa.Topology) locks.Mutex { return locks.NewHCLH(t) },
+	},
+	{
+		Name: "fc-mcs", Desc: "flat-combining MCS lock (Dice et al.)",
+		NewMutex: func(t *numa.Topology) locks.Mutex { return locks.NewFCMCS(t) },
+	},
+	{
+		Name: "c-bo-bo", Desc: "cohort lock: global BO over local BO (paper §3.1)", Cohort: true,
+		NewMutex: func(t *numa.Topology) locks.Mutex { return core.NewCBOBO(t) },
+	},
+	{
+		Name: "c-tkt-tkt", Desc: "cohort lock: global ticket over local ticket (§3.2)", Cohort: true,
+		NewMutex: func(t *numa.Topology) locks.Mutex { return core.NewCTKTTKT(t) },
+	},
+	{
+		Name: "c-bo-mcs", Desc: "cohort lock: global BO over local MCS (§3.3)", Cohort: true,
+		NewMutex: func(t *numa.Topology) locks.Mutex { return core.NewCBOMCS(t) },
+	},
+	{
+		Name: "c-tkt-mcs", Desc: "cohort lock: global ticket over local MCS (§3.5)", Cohort: true,
+		NewMutex: func(t *numa.Topology) locks.Mutex { return core.NewCTKTMCS(t) },
+	},
+	{
+		Name: "c-mcs-mcs", Desc: "cohort lock: global MCS over local MCS (§3.4)", Cohort: true,
+		NewMutex: func(t *numa.Topology) locks.Mutex { return core.NewCMCSMCS(t) },
+	},
+	{
+		Name: "c-bo-clh", Desc: "cohort lock: global BO over local CLH (extension, §3's generality claim)", Cohort: true, Extension: true,
+		NewMutex: func(t *numa.Topology) locks.Mutex { return core.NewCBOCLH(t) },
+	},
+	{
+		Name: "a-clh", Desc: "abortable CLH lock (Scott), abortable baseline",
+		NewTry: func(t *numa.Topology) locks.TryMutex { return locks.NewACLH(t) },
+	},
+	{
+		Name: "a-hbo", Desc: "abortable hierarchical backoff lock",
+		NewTry: func(*numa.Topology) locks.TryMutex { return locks.NewHBO(locks.LBenchHBOConfig()) },
+	},
+	{
+		Name: "a-c-bo-bo", Desc: "abortable cohort lock: global BO over abortable local BO (§3.6.1)", Cohort: true,
+		NewTry: func(t *numa.Topology) locks.TryMutex { return core.NewACBOBO(t) },
+	},
+	{
+		Name: "a-c-bo-clh", Desc: "abortable cohort lock: global BO over abortable local CLH (§3.6.2)", Cohort: true,
+		NewTry: func(t *numa.Topology) locks.TryMutex { return core.NewACBOCLH(t) },
+	},
+}
+
+// All returns every registered entry, in presentation order.
+func All() []Entry {
+	out := make([]Entry, len(entries))
+	copy(out, entries)
+	return out
+}
+
+// Lookup finds an entry by name.
+func Lookup(name string) (Entry, bool) {
+	for _, e := range entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// MustLookup is Lookup that panics on unknown names; tools use it
+// after validating flags.
+func MustLookup(name string) Entry {
+	e, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("registry: unknown lock %q", name))
+	}
+	return e
+}
+
+// Blocking returns the entries usable as blocking locks, in order.
+func Blocking() []Entry {
+	var out []Entry
+	for _, e := range entries {
+		if e.NewMutex != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Abortable returns the entries usable as abortable locks, in order.
+func Abortable() []Entry {
+	var out []Entry
+	for _, e := range entries {
+		if e.NewTry != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Figure2Names lists the locks of the paper's Figures 2-5, in legend
+// order.
+func Figure2Names() []string {
+	return []string{"mcs", "hbo", "hclh", "fc-mcs",
+		"c-bo-bo", "c-tkt-tkt", "c-bo-mcs", "c-tkt-mcs", "c-mcs-mcs"}
+}
+
+// Figure6Names lists the abortable locks of Figure 6.
+func Figure6Names() []string {
+	return []string{"a-clh", "a-hbo", "a-c-bo-bo", "a-c-bo-clh"}
+}
+
+// TableNames lists the lock columns of Tables 1 and 2.
+func TableNames() []string {
+	return []string{"pthread", "fib-bo", "mcs", "hbo", "hbo-tuned", "fc-mcs",
+		"c-bo-bo", "c-tkt-tkt", "c-bo-mcs", "c-tkt-mcs", "c-mcs-mcs"}
+}

@@ -1,0 +1,120 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/numa"
+)
+
+func TestAllEntriesBuildable(t *testing.T) {
+	topo := numa.New(4, 8)
+	for _, e := range All() {
+		if e.NewMutex == nil && e.NewTry == nil {
+			t.Errorf("%s: no factory at all", e.Name)
+		}
+		if e.NewMutex != nil {
+			if m := e.NewMutex(topo); m == nil {
+				t.Errorf("%s: NewMutex returned nil", e.Name)
+			}
+		}
+		if e.NewTry != nil {
+			if m := e.NewTry(topo); m == nil {
+				t.Errorf("%s: NewTry returned nil", e.Name)
+			}
+		}
+		if e.Desc == "" {
+			t.Errorf("%s: missing description", e.Name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("c-bo-mcs"); !ok {
+		t.Error("c-bo-mcs not found")
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Error("nonsense lock found")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup on unknown name did not panic")
+		}
+	}()
+	MustLookup("nonsense")
+}
+
+func TestFigureAndTableNamesResolve(t *testing.T) {
+	for _, name := range Figure2Names() {
+		e := MustLookup(name)
+		if e.NewMutex == nil {
+			t.Errorf("Figure 2 lock %s is not blocking", name)
+		}
+	}
+	for _, name := range Figure6Names() {
+		e := MustLookup(name)
+		if e.NewTry == nil {
+			t.Errorf("Figure 6 lock %s is not abortable", name)
+		}
+	}
+	for _, name := range TableNames() {
+		e := MustLookup(name)
+		if e.NewMutex == nil {
+			t.Errorf("Table lock %s is not blocking", name)
+		}
+	}
+}
+
+func TestFigure2IncludesAllCohortBlockingLocks(t *testing.T) {
+	want := map[string]bool{}
+	for _, e := range Blocking() {
+		if e.Cohort && !e.Extension {
+			want[e.Name] = false
+		}
+	}
+	for _, n := range Figure2Names() {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("cohort lock %s missing from Figure 2 set", name)
+		}
+	}
+}
+
+func TestBlockingAbortablePartition(t *testing.T) {
+	blocking := Blocking()
+	abortable := Abortable()
+	if len(blocking) == 0 || len(abortable) == 0 {
+		t.Fatal("expected both blocking and abortable entries")
+	}
+	// Exactly the five cohort blocking locks are marked Cohort among
+	// blocking entries.
+	n := 0
+	for _, e := range blocking {
+		if e.Cohort {
+			n++
+		}
+	}
+	if n != 6 {
+		t.Errorf("blocking cohort locks = %d, want 6", n)
+	}
+	n = 0
+	for _, e := range abortable {
+		if e.Cohort {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("abortable cohort locks = %d, want 2", n)
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	a := All()
+	a[0].Name = "mutated"
+	if entries[0].Name == "mutated" {
+		t.Error("All() exposes internal slice")
+	}
+}

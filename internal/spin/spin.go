@@ -1,0 +1,175 @@
+// Package spin provides the low-level busy-waiting primitives shared by
+// every spin lock in this repository: processor-friendly pause loops,
+// oversubscription-safe polling, bounded exponential and Fibonacci
+// backoff, a calibrated nanosecond busy-wait, and a cheap monotonic
+// clock for abort deadlines.
+//
+// The Go runtime multiplexes goroutines onto a bounded set of OS
+// threads, so a naive spin loop can starve the very goroutine it is
+// waiting for when workers outnumber GOMAXPROCS. Poll therefore
+// escalates from cheap pauses to runtime.Gosched so that spinning
+// remains safe even for the paper's 255-thread configurations.
+package spin
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sink defeats dead-code elimination of pause loops. It is written at
+// most once per program run, behind a condition that is never true in
+// practice, through an atomic to stay race-detector clean.
+var sink atomic.Uint64
+
+// Pause busy-spins for approximately n trivial loop iterations. It
+// never yields the processor; use Poll inside unbounded spin loops.
+func Pause(n int) {
+	var x uint64
+	for i := 0; i < n; i++ {
+		x += uint64(i) | 1
+	}
+	if x == 0 { // never true: every term is odd-or-greater, n>=1 sums >0; n<=0 skips
+		sink.Store(x)
+	}
+}
+
+// oversubscribed selects between two spin disciplines. The paper's
+// machine gives every thread a hardware context, so waiters spin
+// freely; under the Go runtime that discipline is only safe (and only
+// fast) while workers do not exceed GOMAXPROCS — a descheduled waiter
+// takes tens of microseconds to run again, which would tax every
+// hand-off. Harnesses therefore declare oversubscription explicitly:
+// when set, spin loops go hot briefly and then yield on every
+// iteration so waiting goroutines cannot monopolize the processors.
+// The conservative default is on.
+var oversubscribed atomic.Bool
+
+func init() { oversubscribed.Store(true) }
+
+// SetOversubscribed declares whether spinning goroutines may outnumber
+// GOMAXPROCS. Harnesses call it before a run (workers+bookkeeping vs
+// GOMAXPROCS); it may be changed between runs but not during one.
+func SetOversubscribed(b bool) { oversubscribed.Store(b) }
+
+// Oversubscribed reports the current spin discipline.
+func Oversubscribed() bool { return oversubscribed.Load() }
+
+// AutoOversubscribe sets the discipline from a worker count and
+// reports the previous value.
+func AutoOversubscribe(workers int) bool {
+	prev := oversubscribed.Load()
+	oversubscribed.Store(workers >= runtime.GOMAXPROCS(0))
+	return prev
+}
+
+// hotSpinIters is the spin-then-yield threshold of Poll when
+// oversubscribed: roughly 5 µs of pure spinning before every iteration
+// yields.
+const hotSpinIters = 1024
+
+// Poll performs the i-th iteration of an unbounded spin-wait. With
+// dedicated processors (not oversubscribed) it pauses briefly and
+// never deschedules, like the paper's hardware threads; when
+// oversubscribed it spins hot briefly, then yields every iteration so
+// the lock holder always gets processor time.
+func Poll(i int) {
+	if i < hotSpinIters {
+		Pause(16)
+		return
+	}
+	if oversubscribed.Load() {
+		runtime.Gosched()
+		return
+	}
+	Pause(64)
+}
+
+// calibration state for WaitNs: pauseUnitsPerMicro is the number of
+// Pause(1) iterations that consume roughly one microsecond.
+var (
+	calOnce            sync.Once
+	pauseUnitsPerMicro atomic.Int64
+)
+
+// Calibrate measures the cost of Pause iterations and stores the
+// iterations-per-microsecond rate used by WaitNs. It is invoked
+// automatically on first use; tests may call it eagerly.
+func Calibrate() {
+	calOnce.Do(func() {
+		const batch = 4096
+		// Warm up once so the loop is resident.
+		Pause(batch)
+		var iters int64
+		start := time.Now()
+		for time.Since(start) < 2*time.Millisecond {
+			Pause(batch)
+			iters += batch
+		}
+		elapsed := time.Since(start).Microseconds()
+		if elapsed < 1 {
+			elapsed = 1
+		}
+		rate := iters / elapsed
+		if rate < 1 {
+			rate = 1
+		}
+		pauseUnitsPerMicro.Store(rate)
+	})
+}
+
+// UnitsPerMicro reports the calibrated number of Pause(1) iterations
+// per microsecond.
+func UnitsPerMicro() int64 {
+	Calibrate()
+	return pauseUnitsPerMicro.Load()
+}
+
+// WaitNs busy-waits for approximately ns nanoseconds without sleeping.
+// Long waits (> 4 µs) periodically yield so oversubscribed workloads
+// make progress. Non-positive durations return immediately.
+func WaitNs(ns int64) {
+	if ns <= 0 {
+		return
+	}
+	units := ns * UnitsPerMicro() / 1000
+	if units <= 0 {
+		units = 1
+	}
+	// Yield only on long waits (chunk ≈ 9 µs) and only when
+	// oversubscribed: short waits — like LBench's 4 µs non-critical
+	// idle — must not pay descheduling latency, or the emulated delay
+	// balloons.
+	const chunk = 1 << 15
+	for units > chunk {
+		Pause(chunk)
+		units -= chunk
+		if oversubscribed.Load() {
+			runtime.Gosched()
+		}
+	}
+	Pause(int(units))
+}
+
+// programStart anchors the cheap monotonic clock exposed by Now.
+var programStart = time.Now()
+
+// Now returns nanoseconds elapsed since program start using the
+// monotonic clock. It is the time base for abort deadlines: a deadline
+// is spin.Now()+patience, checked with Expired.
+func Now() int64 {
+	return int64(time.Since(programStart))
+}
+
+// Deadline converts a patience duration into an absolute deadline for
+// TryLock-style operations. A non-positive patience yields a deadline
+// that is already expired.
+func Deadline(patience time.Duration) int64 {
+	return Now() + int64(patience)
+}
+
+// Expired reports whether the deadline produced by Deadline has passed.
+func Expired(deadline int64) bool {
+	return Now() >= deadline
+}

@@ -1,0 +1,6 @@
+package spin
+
+import "runtime"
+
+// yield is an indirection point so tests can count scheduler yields.
+var yield = runtime.Gosched

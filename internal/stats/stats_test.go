@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); got != c.want {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("StdDev(nil) = %v", got)
+	}
+	if got := StdDev([]float64{7}); got != 0 {
+		t.Errorf("StdDev(single) = %v", got)
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestStdDevPct(t *testing.T) {
+	if got := StdDevPct([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("uniform data StdDevPct = %v, want 0", got)
+	}
+	if got := StdDevPct([]float64{0, 0}); got != 0 {
+		t.Errorf("zero-mean StdDevPct = %v, want 0", got)
+	}
+	got := StdDevPct([]float64{50, 150}) // mean 100, stddev 50
+	if math.Abs(got-50) > 1e-9 {
+		t.Errorf("StdDevPct = %v, want 50", got)
+	}
+}
+
+func TestStdDevPctScaleInvariant(t *testing.T) {
+	f := func(raw []uint16, scale uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		k := float64(scale%9) + 1
+		a := make([]float64, len(raw))
+		b := make([]float64, len(raw))
+		allZero := true
+		for i, v := range raw {
+			a[i] = float64(v) + 1 // keep mean positive
+			b[i] = a[i] * k
+			if v != 0 {
+				allZero = false
+			}
+		}
+		_ = allZero
+		return math.Abs(StdDevPct(a)-StdDevPct(b)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(0, 10); got != 0 {
+		t.Errorf("Speedup with zero base = %v", got)
+	}
+	if got := Speedup(2, 9); got != 4.5 {
+		t.Errorf("Speedup = %v, want 4.5", got)
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := NewTable("demo", "threads", "lock", "value")
+	tb.AddRow("1", "c-bo-mcs", "1.23")
+	tb.AddRow("128", "mcs", "0.5")
+	out := tb.Render()
+	if !strings.Contains(out, "# demo") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4", len(lines))
+	}
+	// Columns must start at the same offset in every row.
+	idx := strings.Index(lines[1], "lock")
+	for _, ln := range lines[2:] {
+		if len(ln) < idx {
+			t.Fatalf("row shorter than header indent: %q", ln)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows() = %d, want 2", tb.Rows())
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3") // wider than headers
+	out := tb.Render()
+	if !strings.Contains(out, "3") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "x", "y")
+	tb.AddRow("1", "2")
+	want := "x,y\n1,2\n"
+	if got := tb.CSV(); got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestF(t *testing.T) {
+	if got := F(1.23456, 2); got != "1.23" {
+		t.Errorf("F = %q", got)
+	}
+	if got := F(3, 0); got != "3" {
+		t.Errorf("F = %q", got)
+	}
+}

@@ -164,6 +164,85 @@ func BenchmarkTable1bMixed(b *testing.B) { benchTable1(b, 50) }
 // BenchmarkTable1cWriteHeavy reproduces Table 1(c): 10% gets.
 func BenchmarkTable1cWriteHeavy(b *testing.B) { benchTable1(b, 10) }
 
+// BenchmarkShardScaling measures the sharded store beyond the paper:
+// the 50% mix under C-BO-MCS with 1, 4 and 16 shards, cluster-affine
+// placement — the structural escape from Table 1's single-lock
+// ceiling.
+func BenchmarkShardScaling(b *testing.B) {
+	threads := contendedThreads()
+	e := registry.MustLookup("c-bo-mcs")
+	const keyspace = 20_000
+	for _, shards := range []int{1, 4, 16} {
+		b.Run("shards-"+itoa(int64(shards)), func(b *testing.B) {
+			topo := numa.New(4, threads)
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				store := kvstore.New(kvstore.Config{
+					Topo:      topo,
+					NewLock:   e.MutexFactory(topo),
+					Shards:    shards,
+					Placement: kvstore.ClusterAffine,
+					Capacity:  keyspace * topo.Clusters() * 2,
+				})
+				kvload.PopulateClusters(store, topo, keyspace, 128)
+				cfg := kvload.DefaultConfig(topo, threads, 50)
+				cfg.Duration = trialWindow
+				cfg.Keyspace = keyspace
+				res, err := kvload.Run(cfg, store)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += res.Throughput()
+			}
+			b.ReportMetric(sum/float64(b.N), "ops/s")
+		})
+	}
+}
+
+// BenchmarkShardPlacement compares HashMod and ClusterAffine routing
+// at a fixed shard count, with the affinity knob biasing HashMod
+// workers toward their home shards.
+func BenchmarkShardPlacement(b *testing.B) {
+	threads := contendedThreads()
+	e := registry.MustLookup("c-bo-mcs")
+	const keyspace = 20_000
+	cases := []struct {
+		name      string
+		placement kvstore.Placement
+		affinity  float64
+	}{
+		{"hashmod", kvstore.HashMod, 0},
+		{"hashmod-affinity", kvstore.HashMod, 0.9},
+		{"affine", kvstore.ClusterAffine, 0},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			topo := numa.New(4, threads)
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				store := kvstore.New(kvstore.Config{
+					Topo:      topo,
+					NewLock:   e.MutexFactory(topo),
+					Shards:    16,
+					Placement: c.placement,
+					Capacity:  keyspace * topo.Clusters() * 2,
+				})
+				kvload.PopulateClusters(store, topo, keyspace, 128)
+				cfg := kvload.DefaultConfig(topo, threads, 50)
+				cfg.Duration = trialWindow
+				cfg.Keyspace = keyspace
+				cfg.Affinity = c.affinity
+				res, err := kvload.Run(cfg, store)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += res.Throughput()
+			}
+			b.ReportMetric(sum/float64(b.N), "ops/s")
+		})
+	}
+}
+
 // BenchmarkTable2Malloc reproduces Table 2: mmicro malloc-free pairs
 // per millisecond, with the cross-cluster block-reuse rate (the
 // paper's explanatory mechanism) as a companion metric.

@@ -3,9 +3,17 @@
 // (90% get), mixed (50%) and write-heavy (10% get) workloads. Each
 // cell is the speedup over the single-threaded pthread-lock run of the
 // same mix, exactly as the paper normalizes.
+//
+// Beyond the paper, -shards sweeps the sharded store: one lock
+// instance per shard (built from the registry's factories), with
+// -placement choosing how shards are homed on clusters and -affinity
+// biasing each worker's keys toward its own cluster's shards. Multiple
+// shard counts additionally emit a shard-scaling table, and -json
+// emits every measured cell as a JSON record for trajectory tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,24 +29,44 @@ import (
 )
 
 type options struct {
-	mixes    []int
-	threads  []int
-	locks    []string
-	clusters int
-	duration time.Duration
-	keyspace uint64
-	csv      bool
+	mixes     []int
+	threads   []int
+	locks     []string
+	shards    []int
+	clusters  int
+	duration  time.Duration
+	keyspace  uint64
+	affinity  float64
+	placement kvstore.Placement
+	csv       bool
+	jsonOut   bool
+}
+
+// record is one measured cell, emitted under -json.
+type record struct {
+	Mix       int     `json:"mix_get_pct"`
+	Lock      string  `json:"lock"`
+	Threads   int     `json:"threads"`
+	Shards    int     `json:"shards"`
+	Placement string  `json:"placement"`
+	Affinity  float64 `json:"affinity"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Speedup   float64 `json:"speedup_vs_pthread1"`
 }
 
 func main() {
 	var (
-		mixFlag      = flag.String("mix", "all", "get percentage: 90, 50, 10 or all")
-		threadsFlag  = flag.String("threads", "1,4,8,16,32,64,96,128", "comma-separated thread counts (paper's rows)")
-		locksFlag    = flag.String("locks", "", "override lock list (default: the paper's Table 1 columns)")
-		clustersFlag = flag.Int("clusters", 4, "NUMA clusters to simulate")
-		durationFlag = flag.Duration("duration", 300*time.Millisecond, "measurement window per cell")
-		keysFlag     = flag.Uint64("keys", 50_000, "distinct keys (pre-populated)")
-		csvFlag      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		mixFlag       = flag.String("mix", "all", "get percentage: 90, 50, 10 or all")
+		threadsFlag   = flag.String("threads", "1,4,8,16,32,64,96,128", "comma-separated thread counts (paper's rows)")
+		locksFlag     = flag.String("locks", "", "override lock list (default: the paper's Table 1 columns)")
+		shardsFlag    = flag.String("shards", "1", "comma-separated shard counts; 1 reproduces the paper's single cache lock")
+		placementFlag = flag.String("placement", "affine", "shard placement: hashmod or affine")
+		affinityFlag  = flag.Float64("affinity", 0, "probability a worker's keys target its own cluster's shards [0,1]")
+		clustersFlag  = flag.Int("clusters", 4, "NUMA clusters to simulate")
+		durationFlag  = flag.Duration("duration", 300*time.Millisecond, "measurement window per cell")
+		keysFlag      = flag.Uint64("keys", 50_000, "distinct keys (pre-populated)")
+		csvFlag       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonFlag      = flag.Bool("json", false, "emit every measured cell as JSON records instead of tables")
 	)
 	flag.Parse()
 
@@ -46,7 +74,9 @@ func main() {
 		clusters: *clustersFlag,
 		duration: *durationFlag,
 		keyspace: *keysFlag,
+		affinity: *affinityFlag,
 		csv:      *csvFlag,
+		jsonOut:  *jsonFlag,
 		locks:    cli.ParseNameList(*locksFlag),
 	}
 	switch *mixFlag {
@@ -64,6 +94,21 @@ func main() {
 		os.Exit(2)
 	}
 	opt.threads = threads
+	shards, err := cli.ParseIntList(*shardsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvbench: bad -shards: %v\n", err)
+		os.Exit(2)
+	}
+	opt.shards = shards
+	opt.placement, err = kvstore.ParsePlacement(*placementFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvbench: %v\n", err)
+		os.Exit(2)
+	}
+	if !(opt.affinity >= 0 && opt.affinity <= 1) { // inverted to reject NaN
+		fmt.Fprintf(os.Stderr, "kvbench: -affinity %v outside [0,1]\n", opt.affinity)
+		os.Exit(2)
+	}
 	if len(opt.locks) == 0 {
 		opt.locks = registry.TableNames()
 	}
@@ -90,61 +135,161 @@ func run(opt options) error {
 	}
 	topo := numa.New(opt.clusters, maxThreads)
 
+	var records []record
 	for _, mix := range opt.mixes {
-		if err := runMix(opt, topo, mix); err != nil {
+		recs, err := runMix(opt, topo, mix)
+		if err != nil {
 			return err
 		}
+		records = append(records, recs...)
+	}
+	if opt.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(records)
 	}
 	return nil
 }
 
-// measure runs one (lock, threads, mix) cell against a fresh store.
-func measure(opt options, topo *numa.Topology, lockName string, threads, getPct int) (float64, error) {
+// newStore builds one cell's store: a single pre-built lock on the
+// pre-sharding path, one lock instance per shard from the registry
+// factory otherwise.
+func newStore(opt options, topo *numa.Topology, e registry.Entry, shards int) *kvstore.Store {
+	cfg := kvstore.Config{Topo: topo}
+	if shards <= 1 {
+		cfg.Lock = e.NewMutex(topo)
+		return kvstore.New(cfg)
+	}
+	cfg.NewLock = e.MutexFactory(topo)
+	cfg.Shards = shards
+	cfg.Placement = opt.placement
+	// Keep the comparison against the single-shard cell apples-to-
+	// apples: every keyspace view gets at least the single-shard
+	// default capacity and bucket count. Under ClusterAffine each
+	// cluster's view spans only its home-shard group, so size per
+	// shard from the smallest group; views with more home shards get
+	// proportional slack. Parity is exact when -shards divides evenly
+	// by -clusters and is a power of two (the store rounds per-shard
+	// buckets up to a power of two).
+	cfg.Capacity = 1 << 16
+	cfg.Buckets = 1 << 15
+	if opt.placement == kvstore.ClusterAffine {
+		minGroup := shards / topo.Clusters()
+		if minGroup < 1 {
+			minGroup = 1
+		}
+		cfg.Capacity = shards * (1 << 16) / minGroup
+		cfg.Buckets = shards * (1 << 15) / minGroup
+	}
+	return kvstore.New(cfg)
+}
+
+// measure runs one (lock, threads, mix, shards) cell against a fresh
+// store.
+func measure(opt options, topo *numa.Topology, lockName string, threads, getPct, shards int) (float64, error) {
 	e, ok := registry.Lookup(lockName)
 	if !ok || e.NewMutex == nil {
 		return 0, fmt.Errorf("unknown or non-blocking lock %q", lockName)
 	}
-	store := kvstore.New(kvstore.Config{
-		Topo: topo,
-		Lock: e.NewMutex(topo),
-	})
-	kvload.Populate(store, topo.Proc(0), opt.keyspace, 128)
+	store := newStore(opt, topo, e, shards)
+	kvload.PopulateClusters(store, topo, opt.keyspace, 128)
 	runtime.GC() // population litters the heap; keep GC out of the window
 	cfg := kvload.DefaultConfig(topo, threads, getPct)
 	cfg.Duration = opt.duration
 	cfg.Keyspace = opt.keyspace
+	cfg.Affinity = opt.affinity
 	res, err := kvload.Run(cfg, store)
 	if err != nil {
-		return 0, fmt.Errorf("%s @%d: %w", lockName, threads, err)
+		return 0, fmt.Errorf("%s @%d x%d shards: %w", lockName, threads, shards, err)
 	}
 	return res.Throughput(), nil
 }
 
-func runMix(opt options, topo *numa.Topology, getPct int) error {
-	// Baseline: pthread at one thread, the paper's normalization unit.
-	base, err := measure(opt, topo, "pthread", 1, getPct)
+func runMix(opt options, topo *numa.Topology, getPct int) ([]record, error) {
+	// Baseline: pthread at one thread on one shard, the paper's
+	// normalization unit.
+	base, err := measure(opt, topo, "pthread", 1, getPct, 1)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "mix %d%% gets: pthread@1 baseline %.0f ops/s\n", getPct, base)
 
-	title := fmt.Sprintf("Table 1 (%d%% gets / %d%% sets): speedup over pthread@1",
-		getPct, 100-getPct)
-	headers := append([]string{"threads"}, opt.locks...)
-	tb := stats.NewTable(title, headers...)
-	for _, n := range opt.threads {
-		row := []string{fmt.Sprint(n)}
-		for _, name := range opt.locks {
-			tp, err := measure(opt, topo, name, n, getPct)
-			if err != nil {
-				return err
+	var records []record
+	for _, shards := range opt.shards {
+		title := fmt.Sprintf("Table 1 (%d%% gets / %d%% sets): speedup over pthread@1",
+			getPct, 100-getPct)
+		if shards > 1 {
+			title = fmt.Sprintf("%s [%d shards, %s placement]", title, shards, opt.placement)
+		}
+		headers := append([]string{"threads"}, opt.locks...)
+		tb := stats.NewTable(title, headers...)
+		for _, n := range opt.threads {
+			row := []string{fmt.Sprint(n)}
+			for _, name := range opt.locks {
+				tp, err := measure(opt, topo, name, n, getPct, shards)
+				if err != nil {
+					return nil, err
+				}
+				// Single-shard cells ignore placement and affinity;
+				// label the records with what actually ran.
+				placement, affinity := opt.placement.String(), opt.affinity
+				if shards <= 1 {
+					placement, affinity = "single", 0
+				}
+				records = append(records, record{
+					Mix: getPct, Lock: name, Threads: n, Shards: shards,
+					Placement: placement, Affinity: affinity,
+					OpsPerSec: tp, Speedup: stats.Speedup(base, tp),
+				})
+				row = append(row, stats.F(stats.Speedup(base, tp), 2))
+				fmt.Fprintf(os.Stderr, "ran mix=%d%% %-10s threads=%-4d shards=%-3d %.0f ops/s\n",
+					getPct, name, n, shards, tp)
 			}
-			row = append(row, stats.F(stats.Speedup(base, tp), 2))
-			fmt.Fprintf(os.Stderr, "ran mix=%d%% %-10s threads=%-4d %.0f ops/s\n", getPct, name, n, tp)
+			tb.AddRow(row...)
+		}
+		if !opt.jsonOut {
+			fmt.Print(cli.Emit(tb, opt.csv))
+			fmt.Println()
+		}
+	}
+	if len(opt.shards) > 1 && !opt.jsonOut {
+		fmt.Print(cli.Emit(scalingTable(opt, records, getPct), opt.csv))
+		fmt.Println()
+	}
+	return records, nil
+}
+
+// scalingTable condenses the sweep into shard scaling at the highest
+// thread count: each cell is that lock's aggregate throughput relative
+// to its own run at the first listed shard count.
+func scalingTable(opt options, records []record, getPct int) *stats.Table {
+	maxThreads := 0
+	for _, t := range opt.threads {
+		if t > maxThreads {
+			maxThreads = t
+		}
+	}
+	tp := map[string]map[int]float64{} // lock -> shards -> ops/s
+	for _, r := range records {
+		if r.Mix != getPct || r.Threads != maxThreads {
+			continue
+		}
+		if tp[r.Lock] == nil {
+			tp[r.Lock] = map[int]float64{}
+		}
+		tp[r.Lock][r.Shards] = r.OpsPerSec
+	}
+	baseShards := opt.shards[0]
+	title := fmt.Sprintf("Shard scaling (%d%% gets, %d threads, %s placement): throughput vs %d shard(s)",
+		getPct, maxThreads, opt.placement, baseShards)
+	headers := append([]string{"shards"}, opt.locks...)
+	tb := stats.NewTable(title, headers...)
+	for _, shards := range opt.shards {
+		row := []string{fmt.Sprint(shards)}
+		for _, name := range opt.locks {
+			row = append(row, stats.F(stats.Speedup(tp[name][baseShards], tp[name][shards]), 2))
 		}
 		tb.AddRow(row...)
 	}
-	fmt.Print(cli.Emit(tb, opt.csv))
-	fmt.Println()
-	return nil
+	return tb
 }

@@ -33,6 +33,14 @@ type Config struct {
 	ValueSize int
 	// ThinkNs is the per-request non-locked work, busy-waited.
 	ThinkNs int64
+	// Affinity is the probability in [0,1] that a worker biases its
+	// key choice toward shards homed on its own cluster (rejection
+	// sampling against Store.IsLocal). 0 keeps the uniform key stream.
+	// It only shapes traffic on multi-shard stores under HashMod
+	// placement: ClusterAffine routing is local by construction where
+	// the cluster has home shards, and workers on clusters without
+	// any home shard (fewer shards than clusters) skip the bias.
+	Affinity float64
 }
 
 // DefaultConfig mirrors the paper's memcached setup at benchmark
@@ -71,6 +79,9 @@ func (c *Config) validate() error {
 	if c.ValueSize <= 0 {
 		return fmt.Errorf("kvload: non-positive value size")
 	}
+	if !(c.Affinity >= 0 && c.Affinity <= 1) { // inverted to reject NaN
+		return fmt.Errorf("kvload: affinity %v outside [0,1]", c.Affinity)
+	}
 	return nil
 }
 
@@ -82,6 +93,11 @@ type Result struct {
 	PerThread []uint64
 	Elapsed   time.Duration
 	Store     kvstore.Stats
+	// PerShard breaks Store down by shard, in shard-index order.
+	PerShard []kvstore.Stats
+	// LocalOps counts operations whose key routed to a shard homed on
+	// the worker's own cluster. Tracked only when Affinity > 0.
+	LocalOps uint64
 }
 
 // Throughput reports operations per second.
@@ -92,8 +108,10 @@ func (r Result) Throughput() float64 {
 	return float64(r.Ops) / r.Elapsed.Seconds()
 }
 
-// Populate pre-fills the store with every key so the measured phase
-// sees memcached's steady state (high hit rate).
+// Populate pre-fills the store with every key, as seen from p, so the
+// measured phase sees memcached's steady state (high hit rate). On a
+// ClusterAffine store this fills only p's cluster's shard group; use
+// PopulateClusters to warm every cluster's view.
 func Populate(s *kvstore.Store, p *numa.Proc, keyspace uint64, valueSize int) {
 	val := make([]byte, valueSize)
 	for i := range val {
@@ -104,11 +122,31 @@ func Populate(s *kvstore.Store, p *numa.Proc, keyspace uint64, valueSize int) {
 	}
 }
 
+// PopulateClusters pre-fills the store route-aware: under ClusterAffine
+// placement each cluster keeps its own view of the keyspace, so the
+// keys are inserted once from a proc of every cluster; otherwise a
+// single pass from proc 0 reaches every shard.
+func PopulateClusters(s *kvstore.Store, topo *numa.Topology, keyspace uint64, valueSize int) {
+	if s.Placement() != kvstore.ClusterAffine || s.NumShards() == 1 {
+		Populate(s, topo.Proc(0), keyspace, valueSize)
+		return
+	}
+	for c := 0; c < topo.Clusters(); c++ {
+		for id := 0; id < topo.MaxProcs(); id++ {
+			if topo.ClusterOf(id) == c {
+				Populate(s, topo.Proc(id), keyspace, valueSize)
+				break
+			}
+		}
+	}
+}
+
 type loadSlot struct {
-	ops  uint64
-	gets uint64
-	sets uint64
-	_    numa.Pad
+	ops   uint64
+	gets  uint64
+	sets  uint64
+	local uint64
+	_     numa.Pad
 }
 
 // Run drives the store with cfg.Threads closed-loop workers.
@@ -118,6 +156,13 @@ func Run(cfg Config, store *kvstore.Store) (Result, error) {
 	}
 	spin.Calibrate()
 	spin.AutoOversubscribe(cfg.Threads)
+	affinityMille := int64(cfg.Affinity * 1000)
+	if store.NumShards() == 1 {
+		// Affinity is a documented no-op on single-shard stores; skip
+		// its per-op bookkeeping so baselines stay byte-identical to
+		// the pre-sharding load path.
+		affinityMille = 0
+	}
 	slots := make([]loadSlot, cfg.Threads)
 	var stop atomic.Bool
 	start := make(chan struct{})
@@ -131,9 +176,38 @@ func Run(cfg Config, store *kvstore.Store) (Result, error) {
 			val := make([]byte, cfg.ValueSize)
 			dst := make([]byte, cfg.ValueSize)
 			var sink byte
+			// A cluster with no home shard can never satisfy the
+			// bias (skip it rather than resample futilely every op),
+			// and under ClusterAffine a cluster with home shards is
+			// local on every op by construction — neither case needs
+			// per-op routing checks in the measured window.
+			bias := affinityMille
+			alwaysLocal := false
+			if !store.HasLocalShard(p) {
+				bias = 0
+			} else if store.Placement() == kvstore.ClusterAffine {
+				alwaysLocal = true
+			}
 			<-start
 			for !stop.Load() {
 				key := p.Rand() % cfg.Keyspace
+				if affinityMille > 0 && alwaysLocal {
+					sl.local++
+				} else if bias > 0 {
+					local := store.IsLocal(p, key)
+					if !local && p.RandN(1000) < bias {
+						// Bias toward a shard homed on this worker's
+						// cluster; bounded rejection sampling keeps
+						// the loop closed even if no key is local.
+						for tries := 0; !local && tries < 64; tries++ {
+							key = p.Rand() % cfg.Keyspace
+							local = store.IsLocal(p, key)
+						}
+					}
+					if local {
+						sl.local++
+					}
+				}
 				if int(p.RandN(100)) < cfg.GetPct {
 					n, ok := store.Get(p, key, dst)
 					if ok {
@@ -168,7 +242,12 @@ func Run(cfg Config, store *kvstore.Store) (Result, error) {
 		res.Ops += slots[i].ops
 		res.Gets += slots[i].gets
 		res.Sets += slots[i].sets
+		res.LocalOps += slots[i].local
 	}
 	res.Store = store.Snapshot()
+	res.PerShard = make([]kvstore.Stats, store.NumShards())
+	for i := range res.PerShard {
+		res.PerShard[i] = store.ShardSnapshot(i)
+	}
 	return res, nil
 }

@@ -138,3 +138,117 @@ func lockFromRegistry(topo *numa.Topology) locks.Mutex {
 	// Built directly to avoid an import cycle with registry in tests.
 	return locks.NewMCS(topo)
 }
+
+func shardedStore(topo *numa.Topology, shards int, placement kvstore.Placement) *kvstore.Store {
+	return kvstore.New(kvstore.Config{
+		Topo:      topo,
+		NewLock:   func() locks.Mutex { return locks.NewPthread() },
+		Shards:    shards,
+		Placement: placement,
+		Buckets:   1 << 10, Capacity: 1 << 15,
+		Cache:       cachesim.Config{LocalNs: 1, RemoteNs: 1},
+		ItemLocalNs: 1, ItemRemoteNs: 1,
+	})
+}
+
+func TestAffinityValidation(t *testing.T) {
+	topo := numa.New(4, 8)
+	s := fastStore(topo)
+	for _, bad := range []float64{-0.1, 1.5} {
+		cfg := fastCfg(topo, 4, 50)
+		cfg.Affinity = bad
+		if _, err := Run(cfg, s); err == nil {
+			t.Errorf("affinity %v accepted", bad)
+		}
+	}
+}
+
+func TestPerShardStatsAggregation(t *testing.T) {
+	topo := numa.New(4, 8)
+	s := shardedStore(topo, 8, kvstore.HashMod)
+	PopulateClusters(s, topo, 1000, 32)
+	res, err := Run(fastCfg(topo, 8, 50), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerShard) != 8 {
+		t.Fatalf("PerShard has %d entries, want 8", len(res.PerShard))
+	}
+	var sum kvstore.Stats
+	for _, st := range res.PerShard {
+		sum.Add(st)
+	}
+	if sum != res.Store {
+		t.Fatalf("shard sum %+v != aggregate %+v", sum, res.Store)
+	}
+	busy := 0
+	for _, st := range res.PerShard {
+		if st.Gets+st.Sets > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d shards saw traffic under HashMod", busy)
+	}
+}
+
+func TestAffinityBiasesKeyChoice(t *testing.T) {
+	topo := numa.New(4, 8)
+	s := shardedStore(topo, 8, kvstore.HashMod)
+	PopulateClusters(s, topo, 1000, 32)
+	cfg := fastCfg(topo, 8, 50)
+	cfg.Affinity = 1.0
+	res, err := Run(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With full affinity, rejection sampling should make the large
+	// majority of ops land on home shards (~1/4 would be local by
+	// chance with 4 clusters).
+	if res.LocalOps*2 < res.Ops {
+		t.Fatalf("only %d/%d ops local with affinity=1", res.LocalOps, res.Ops)
+	}
+}
+
+func TestPopulateClustersWarmsAffineViews(t *testing.T) {
+	topo := numa.New(4, 8)
+	s := shardedStore(topo, 4, kvstore.ClusterAffine)
+	PopulateClusters(s, topo, 500, 32)
+	dst := make([]byte, 32)
+	// Every cluster must hit its own view of the keyspace.
+	for id := 0; id < 4; id++ {
+		p := topo.Proc(id)
+		for k := uint64(0); k < 500; k += 37 {
+			if _, ok := s.Get(p, k, dst); !ok {
+				t.Fatalf("proc %d (cluster %d) missed key %d after PopulateClusters",
+					id, p.Cluster(), k)
+			}
+		}
+	}
+}
+
+func TestRunShardedAffine(t *testing.T) {
+	topo := numa.New(4, 16)
+	s := kvstore.New(kvstore.Config{
+		Topo:      topo,
+		NewLock:   func() locks.Mutex { return lockFromRegistry(topo) },
+		Shards:    8,
+		Placement: kvstore.ClusterAffine,
+		Buckets:   1 << 10, Capacity: 1 << 15,
+		Cache:       cachesim.Config{LocalNs: 1, RemoteNs: 1},
+		ItemLocalNs: 1, ItemRemoteNs: 1,
+	})
+	PopulateClusters(s, topo, 1000, 32)
+	res, err := Run(fastCfg(topo, 16, 90), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("sharded affine store made no progress")
+	}
+	// Warmed views + 90% gets: hits must dominate misses clearly.
+	if res.Store.Hits < res.Store.Misses {
+		t.Fatalf("hits %d < misses %d against warmed affine store",
+			res.Store.Hits, res.Store.Misses)
+	}
+}

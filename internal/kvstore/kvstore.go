@@ -1,17 +1,36 @@
 // Package kvstore is the memcached stand-in for the paper's Table 1
-// experiment. Memcached keeps all key-value pairs in one hash table
-// with LRU eviction, and mediates every get and set through a single
-// "cache lock" — the contention bottleneck the paper targets by
-// interposing different lock implementations under the pthread API.
+// experiment, grown into a sharded, NUMA-affine cache.
 //
-// This store reproduces that structure in-process: a chained hash
-// table, an intrusive LRU list, and a single pluggable lock. Hot
-// shared metadata — the LRU head, hash-table metadata, statistics and
-// the item allocator — is charged through a cachesim domain, so lock
-// algorithms that batch critical sections by cluster keep those lines
-// local exactly as they would on the paper's machine. Expiry/TTL and
-// the network protocol are omitted (DESIGN.md §2): the experiment
-// exercises only the lock around table operations.
+// Memcached keeps all key-value pairs in one hash table with LRU
+// eviction, and mediates every get and set through a single "cache
+// lock" — the contention bottleneck the paper targets by interposing
+// different lock implementations under the pthread API. A Shard
+// reproduces that structure in-process: a chained hash table, an
+// intrusive LRU list, and a single pluggable lock. Hot shared
+// metadata — the LRU head, hash-table metadata, statistics and the
+// item allocator — is charged through a per-shard cachesim domain, so
+// lock algorithms that batch critical sections by cluster keep those
+// lines local exactly as they would on the paper's machine.
+// Expiry/TTL and the network protocol are omitted (DESIGN.md §2): the
+// experiment exercises only the lock around table operations.
+//
+// A Store fronts N such shards and routes each operation by key hash,
+// which is the structural fix the single cache lock cannot buy: no
+// matter how good the lock, one lock instance caps throughput at one
+// critical section at a time. Sharding multiplies that capacity by N,
+// and the placement policy decides which threads meet at which lock:
+//
+//   - HashMod spreads keys over all shards uniformly; every shard sees
+//     traffic from every cluster.
+//   - ClusterAffine gives each cluster its own group of home shards
+//     and routes a requester's keys within its cluster's group, so
+//     each shard's lock is only ever contended by one cluster — the
+//     longest possible same-cluster runs for a cohort lock, at the
+//     cost of per-cluster (non-coherent) views of the keyspace, as in
+//     a per-NUMA-node cache partition.
+//
+// A single-shard Store routes every key to its one shard and behaves
+// exactly like the pre-sharding store.
 package kvstore
 
 import (
@@ -20,30 +39,65 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/locks"
 	"repro/internal/numa"
-	"repro/internal/spin"
 )
 
-// Metadata line indices in the store's cachesim domain.
+// Placement selects how shards are homed on clusters and how keys are
+// routed to shards.
+type Placement int
+
 const (
-	lineLRU   = 0 // LRU list head/tail, touched by every operation
-	lineHash  = 1 // hash table metadata
-	lineStats = 2 // global statistics counters
-	lineAlloc = 3 // item allocator free list
-	numLines  = 4
+	// HashMod routes key k to shard hash(k) mod N regardless of the
+	// requesting cluster. All clusters contend on all shard locks.
+	HashMod Placement = iota
+	// ClusterAffine homes shard i on cluster i mod C and routes a
+	// requester's keys among the shards homed on its own cluster, so
+	// every shard lock sees single-cluster traffic. Clusters without a
+	// home shard (N < C) fall back to HashMod routing.
+	ClusterAffine
 )
+
+// String names the placement for tool output.
+func (p Placement) String() string {
+	switch p {
+	case ClusterAffine:
+		return "affine"
+	default:
+		return "hashmod"
+	}
+}
+
+// ParsePlacement maps a flag value to a Placement.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "hashmod":
+		return HashMod, nil
+	case "affine":
+		return ClusterAffine, nil
+	}
+	return 0, fmt.Errorf("kvstore: unknown placement %q (want hashmod or affine)", s)
+}
 
 // Config parameterizes a Store.
 type Config struct {
-	// Topo sizes per-proc statistics and the metadata cache domain.
+	// Topo sizes per-proc statistics and the metadata cache domains.
 	Topo *numa.Topology
-	// Lock is the cache lock guarding every operation (the paper's
-	// interposition point).
+	// Lock is the cache lock guarding a single-shard store (the
+	// paper's interposition point). Multi-shard stores need one lock
+	// per shard and must use NewLock instead.
 	Lock locks.Mutex
-	// Buckets is the hash table size, rounded up to a power of two.
-	// Default 1<<15.
+	// NewLock builds one lock instance per shard; registry entries
+	// provide such factories via Entry.MutexFactory. When set it takes
+	// precedence over Lock.
+	NewLock func() locks.Mutex
+	// Shards is the shard count. Default 1.
+	Shards int
+	// Placement picks the shard homing/routing policy.
+	Placement Placement
+	// Buckets is the total hash table size, split across shards and
+	// rounded up to a per-shard power of two. Default 1<<15.
 	Buckets int
-	// Capacity is the maximum item count before LRU eviction.
-	// Default 1<<16.
+	// Capacity is the total maximum item count before LRU eviction,
+	// split evenly across shards. Default 1<<16.
 	Capacity int
 	// Cache sets the metadata-line latencies (cachesim semantics).
 	Cache cachesim.Config
@@ -56,18 +110,20 @@ func (c *Config) setDefaults() error {
 	if c.Topo == nil {
 		return fmt.Errorf("kvstore: nil topology")
 	}
-	if c.Lock == nil {
-		return fmt.Errorf("kvstore: nil lock")
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.NewLock == nil {
+		if c.Lock == nil {
+			return fmt.Errorf("kvstore: nil lock")
+		}
+		if c.Shards > 1 {
+			return fmt.Errorf("kvstore: %d shards need a NewLock factory, not a single pre-built lock", c.Shards)
+		}
 	}
 	if c.Buckets <= 0 {
 		c.Buckets = 1 << 15
 	}
-	// Round up to a power of two for mask indexing.
-	n := 1
-	for n < c.Buckets {
-		n <<= 1
-	}
-	c.Buckets = n
 	if c.Capacity <= 0 {
 		c.Capacity = 1 << 16
 	}
@@ -81,27 +137,6 @@ func (c *Config) setDefaults() error {
 	return nil
 }
 
-// item is one cache entry: hash chain link, intrusive LRU links, the
-// last-touching cluster (for the locality charge), and the value.
-type item struct {
-	key   uint64
-	hnext *item
-	prev  *item
-	next  *item
-	owner int32
-	value []byte
-}
-
-// opSlot is per-proc statistics; each proc writes only its own slot.
-type opSlot struct {
-	gets      uint64
-	sets      uint64
-	hits      uint64
-	misses    uint64
-	evictions uint64
-	_         numa.Pad
-}
-
 // Stats is an aggregated view of store activity.
 type Stats struct {
 	Gets, Sets, Hits, Misses, Evictions uint64
@@ -109,18 +144,24 @@ type Stats struct {
 	MetaMisses uint64
 }
 
-// Store is the memcached-like key-value cache.
+// Add accumulates o into s; harnesses use it to aggregate shard and
+// store snapshots.
+func (s *Stats) Add(o Stats) {
+	s.Gets += o.Gets
+	s.Sets += o.Sets
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.MetaMisses += o.MetaMisses
+}
+
+// Store is the sharded memcached-like key-value cache.
 type Store struct {
-	cfg     Config
-	lock    locks.Mutex
-	mask    uint64
-	buckets []*item
-	head    *item // MRU
-	tail    *item // LRU victim
-	count   int
-	free    *item // recycled items (chained via hnext)
-	domain  *cachesim.Domain
-	slots   []opSlot
+	topo      *numa.Topology
+	placement Placement
+	shards    []*Shard
+	homes     []int   // shard index -> home cluster
+	groups    [][]int // cluster -> indices of shards homed there
 }
 
 // New builds a store; it panics on invalid configuration (programmer
@@ -129,243 +170,160 @@ func New(cfg Config) *Store {
 	if err := cfg.setDefaults(); err != nil {
 		panic(err)
 	}
-	return &Store{
-		cfg:     cfg,
-		lock:    cfg.Lock,
-		mask:    uint64(cfg.Buckets - 1),
-		buckets: make([]*item, cfg.Buckets),
-		domain:  cachesim.NewDomain(cfg.Topo, numLines, cfg.Cache),
-		slots:   make([]opSlot, cfg.Topo.MaxProcs()),
+	newLock := cfg.NewLock
+	if newLock == nil {
+		lock := cfg.Lock
+		newLock = func() locks.Mutex { return lock }
 	}
+	perBuckets := ceilDiv(cfg.Buckets, cfg.Shards)
+	// Round up to a power of two for mask indexing.
+	n := 1
+	for n < perBuckets {
+		n <<= 1
+	}
+	perBuckets = n
+	perCapacity := ceilDiv(cfg.Capacity, cfg.Shards)
+
+	s := &Store{
+		topo:      cfg.Topo,
+		placement: cfg.Placement,
+		shards:    make([]*Shard, cfg.Shards),
+		homes:     make([]int, cfg.Shards),
+		groups:    make([][]int, cfg.Topo.Clusters()),
+	}
+	for i := range s.shards {
+		s.shards[i] = newShard(shardConfig{
+			topo:       cfg.Topo,
+			lock:       newLock(),
+			buckets:    perBuckets,
+			capacity:   perCapacity,
+			cache:      cfg.Cache,
+			itemLocal:  cfg.ItemLocalNs,
+			itemRemote: cfg.ItemRemoteNs,
+		})
+		home := i % cfg.Topo.Clusters()
+		s.homes[i] = home
+		s.groups[home] = append(s.groups[home], i)
+	}
+	return s
 }
 
-// hash is Fibonacci hashing; keys are already integers in this model.
-func (s *Store) hash(key uint64) uint64 {
-	return (key * 0x9E3779B97F4A7C15) >> 16 & s.mask
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// shardMix decorrelates shard routing from the shards' internal bucket
+// hash (64-bit murmur3 finalizer).
+func shardMix(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xFF51AFD7ED558CCD
+	key ^= key >> 33
+	return key
 }
 
-func (s *Store) find(key uint64) *item {
-	for it := s.buckets[s.hash(key)]; it != nil; it = it.hnext {
-		if it.key == key {
-			return it
+// shardIndex routes (requester, key) to a shard index under the
+// store's placement.
+func (s *Store) shardIndex(p *numa.Proc, key uint64) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	if s.placement == ClusterAffine {
+		if g := s.groups[p.Cluster()]; len(g) > 0 {
+			return g[shardMix(key)%uint64(len(g))]
 		}
 	}
-	return nil
+	return int(shardMix(key) % uint64(len(s.shards)))
 }
 
-// touchItem charges the item-locality latency and migrates ownership,
-// the per-item analogue of cachesim. Must hold the cache lock.
-func (s *Store) touchItem(p *numa.Proc, it *item) {
-	c := int32(p.Cluster())
-	if it.owner != c {
-		it.owner = c
-		spin.WaitNs(s.cfg.ItemRemoteNs)
-	} else {
-		spin.WaitNs(s.cfg.ItemLocalNs)
-	}
+// shardFor returns the shard that (requester, key) routes to.
+func (s *Store) shardFor(p *numa.Proc, key uint64) *Shard {
+	return s.shards[s.shardIndex(p, key)]
 }
 
-// lruFront moves it to the MRU position. Must hold the cache lock.
-func (s *Store) lruFront(it *item) {
-	if s.head == it {
-		return
-	}
-	// unlink
-	if it.prev != nil {
-		it.prev.next = it.next
-	}
-	if it.next != nil {
-		it.next.prev = it.prev
-	}
-	if s.tail == it {
-		s.tail = it.prev
-	}
-	// push front
-	it.prev = nil
-	it.next = s.head
-	if s.head != nil {
-		s.head.prev = it
-	}
-	s.head = it
-	if s.tail == nil {
-		s.tail = it
-	}
-}
-
-// unlink removes it from both the hash chain and the LRU list. Must
-// hold the cache lock.
-func (s *Store) unlink(it *item) {
-	b := s.hash(it.key)
-	if s.buckets[b] == it {
-		s.buckets[b] = it.hnext
-	} else {
-		for cur := s.buckets[b]; cur != nil; cur = cur.hnext {
-			if cur.hnext == it {
-				cur.hnext = it.hnext
-				break
-			}
-		}
-	}
-	if it.prev != nil {
-		it.prev.next = it.next
-	}
-	if it.next != nil {
-		it.next.prev = it.prev
-	}
-	if s.head == it {
-		s.head = it.next
-	}
-	if s.tail == it {
-		s.tail = it.prev
-	}
-	it.prev, it.next, it.hnext = nil, nil, nil
-}
-
-// Get looks up key, copying the value into dst (truncating if dst is
-// short). It returns the copied length and whether the key was found.
-// A hit bumps the item to the MRU position, as memcached does.
+// Get looks up key in the requester's shard, copying the value into
+// dst (truncating if dst is short). It returns the copied length and
+// whether the key was found.
 func (s *Store) Get(p *numa.Proc, key uint64, dst []byte) (int, bool) {
-	slot := &s.slots[p.ID()]
-	s.lock.Lock(p)
-	// The hash-bucket walk is read-only: read-shared lines replicate
-	// across caches without coherence misses, so no charge applies.
-	it := s.find(key)
-	if it == nil {
-		s.lock.Unlock(p)
-		slot.gets++
-		slot.misses++
-		return 0, false
-	}
-	// The LRU bump writes the item's own links — the one line a get
-	// dirties. Which cluster wrote the item last is a property of the
-	// key stream, not of the lock, so this cost is lock-independent
-	// noise (and is why the paper's Table 1a shows all spin locks
-	// performing alike on read-heavy loads).
-	s.touchItem(p, it)
-	s.lruFront(it)
-	n := copy(dst, it.value)
-	s.lock.Unlock(p)
-	slot.gets++
-	slot.hits++
-	return n, true
+	return s.shardFor(p, key).Get(p, key, dst)
 }
 
-// Set inserts or updates key with a copy of val, evicting the LRU
-// victim if the store is over capacity.
+// Set inserts or updates key with a copy of val in the requester's
+// shard, evicting that shard's LRU victim if it is over capacity.
 func (s *Store) Set(p *numa.Proc, key uint64, val []byte) {
-	slot := &s.slots[p.ID()]
-	s.lock.Lock(p)
-	it := s.find(key)
-	if it == nil {
-		// Structural insert: writes the bucket chain and allocator.
-		s.domain.Access(p, lineHash, 1)
-		s.domain.Access(p, lineAlloc, 2)
-		if s.free != nil {
-			it = s.free
-			s.free = it.hnext
-			it.hnext = nil
-		} else {
-			it = &item{}
-		}
-		it.key = key
-		b := s.hash(key)
-		it.hnext = s.buckets[b]
-		s.buckets[b] = it
-		s.count++
-	} else {
-		s.touchItem(p, it)
-	}
-	it.owner = int32(p.Cluster())
-	if cap(it.value) < len(val) {
-		it.value = make([]byte, len(val))
-	}
-	it.value = it.value[:len(val)]
-	copy(it.value, val)
-	s.lruFront(it)
-	s.domain.Access(p, lineLRU, 2)
-	if s.count > s.cfg.Capacity {
-		victim := s.tail
-		if victim != nil && victim != it {
-			s.unlink(victim)
-			s.count--
-			victim.value = victim.value[:0]
-			victim.hnext = s.free
-			s.free = victim
-			s.domain.Access(p, lineHash, 1)
-			s.domain.Access(p, lineAlloc, 2)
-			slot.evictions++
-		}
-	}
-	// Sets mutate the global statistics counters under the cache lock
-	// (as memcached does) — together with the LRU head line above,
-	// this is the batchable portion of a set's critical section: runs
-	// of same-cluster sets keep these lines local.
-	s.domain.Access(p, lineStats, 1)
-	s.lock.Unlock(p)
-	slot.sets++
+	s.shardFor(p, key).Set(p, key, val)
 }
 
-// Delete removes key, returning whether it was present.
+// Delete removes key from the requester's shard, returning whether it
+// was present.
 func (s *Store) Delete(p *numa.Proc, key uint64) bool {
-	s.lock.Lock(p)
-	it := s.find(key)
-	if it == nil {
-		s.lock.Unlock(p)
-		return false
-	}
-	s.domain.Access(p, lineHash, 1)
-	s.unlink(it)
-	s.count--
-	it.value = it.value[:0]
-	it.hnext = s.free
-	s.free = it
-	s.domain.Access(p, lineAlloc, 2)
-	s.lock.Unlock(p)
-	return true
+	return s.shardFor(p, key).Delete(p, key)
 }
 
-// Len reports the current item count (takes the cache lock).
+// Len reports the item count summed over all shards (takes each shard
+// lock in turn).
 func (s *Store) Len(p *numa.Proc) int {
-	s.lock.Lock(p)
-	n := s.count
-	s.lock.Unlock(p)
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len(p)
+	}
 	return n
 }
 
-// Snapshot aggregates statistics; call while workers are quiescent.
+// Capacity reports the total item capacity summed over shards.
+func (s *Store) Capacity() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Capacity()
+	}
+	return n
+}
+
+// NumShards reports the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Placement reports the routing policy.
+func (s *Store) Placement() Placement { return s.placement }
+
+// ShardHome reports the home cluster of shard i.
+func (s *Store) ShardHome(i int) int { return s.homes[i] }
+
+// IsLocal reports whether key routes p to a shard homed on p's own
+// cluster — the affinity predicate load generators bias key choice
+// with. Single-shard stores are degenerately local.
+func (s *Store) IsLocal(p *numa.Proc, key uint64) bool {
+	if len(s.shards) == 1 {
+		return true
+	}
+	return s.homes[s.shardIndex(p, key)] == p.Cluster()
+}
+
+// HasLocalShard reports whether any shard is homed on p's cluster —
+// i.e. whether IsLocal can ever be true for p. Load generators check
+// it once per worker before biasing key choice, since with fewer
+// shards than clusters some clusters have no home shard at all.
+func (s *Store) HasLocalShard(p *numa.Proc) bool {
+	return len(s.shards) == 1 || len(s.groups[p.Cluster()]) > 0
+}
+
+// Snapshot aggregates statistics across all shards; call while workers
+// are quiescent.
 func (s *Store) Snapshot() Stats {
 	var st Stats
-	for i := range s.slots {
-		sl := &s.slots[i]
-		st.Gets += sl.gets
-		st.Sets += sl.sets
-		st.Hits += sl.hits
-		st.Misses += sl.misses
-		st.Evictions += sl.evictions
+	for _, sh := range s.shards {
+		st.Add(sh.Snapshot())
 	}
-	st.MetaMisses = s.domain.Snapshot().Misses
 	return st
 }
 
-// checkLRU validates list integrity; tests use it.
+// ShardSnapshot reports the statistics of shard i alone.
+func (s *Store) ShardSnapshot(i int) Stats {
+	return s.shards[i].Snapshot()
+}
+
+// checkLRU validates every shard's list integrity; tests use it.
 func (s *Store) checkLRU() error {
-	seen := 0
-	var prev *item
-	for it := s.head; it != nil; it = it.next {
-		if it.prev != prev {
-			return fmt.Errorf("kvstore: broken prev link at %d", it.key)
+	for i, sh := range s.shards {
+		if err := sh.checkLRU(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
 		}
-		prev = it
-		seen++
-		if seen > s.count {
-			return fmt.Errorf("kvstore: LRU longer than count %d", s.count)
-		}
-	}
-	if s.tail != prev {
-		return fmt.Errorf("kvstore: tail mismatch")
-	}
-	if seen != s.count {
-		return fmt.Errorf("kvstore: LRU has %d items, count %d", seen, s.count)
 	}
 	return nil
 }

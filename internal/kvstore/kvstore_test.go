@@ -147,7 +147,7 @@ func TestEvictedItemsRecycled(t *testing.T) {
 	if got := s.Len(p); got != 2 {
 		t.Fatalf("Len = %d, want capacity 2", got)
 	}
-	if s.free == nil {
+	if s.shards[0].free == nil {
 		t.Fatal("evicted items not pooled")
 	}
 	if err := s.checkLRU(); err != nil {
@@ -277,7 +277,7 @@ func TestConfigDefaultsAndValidation(t *testing.T) {
 		New(Config{Topo: topo})
 	}()
 	s := New(Config{Topo: topo, Lock: locks.NewPthread(), Buckets: 100})
-	if s.cfg.Buckets != 128 {
-		t.Errorf("buckets rounded to %d, want 128", s.cfg.Buckets)
+	if got := len(s.shards[0].buckets); got != 128 {
+		t.Errorf("buckets rounded to %d, want 128", got)
 	}
 }

@@ -21,7 +21,7 @@ func TestItemOwnershipMigrates(t *testing.T) {
 	p0 := topo.Proc(0) // cluster 0
 	p1 := topo.Proc(1) // cluster 1
 	s.Set(p0, 1, []byte("v"))
-	it := s.find(1)
+	it := s.shards[0].find(1)
 	if it.owner != 0 {
 		t.Fatalf("owner = %d after cluster-0 set, want 0", it.owner)
 	}
@@ -44,12 +44,12 @@ func TestGetDoesNotChargeMetadataLines(t *testing.T) {
 	})
 	p := topo.Proc(0)
 	s.Set(p, 1, []byte("v"))
-	base := s.domain.Snapshot().Accesses
+	base := s.shards[0].domain.Snapshot().Accesses
 	dst := make([]byte, 4)
 	for i := 0; i < 10; i++ {
 		s.Get(p, 1, dst)
 	}
-	if got := s.domain.Snapshot().Accesses; got != base {
+	if got := s.shards[0].domain.Snapshot().Accesses; got != base {
 		t.Fatalf("gets touched %d metadata lines, want 0", got-base)
 	}
 }
@@ -64,9 +64,9 @@ func TestSetChargesBatchableLines(t *testing.T) {
 	})
 	p := topo.Proc(0)
 	s.Set(p, 1, []byte("v")) // insert: hash + alloc + LRU + stats
-	base := s.domain.Snapshot().Accesses
+	base := s.shards[0].domain.Snapshot().Accesses
 	s.Set(p, 1, []byte("w")) // update: LRU + stats only
-	if got := s.domain.Snapshot().Accesses - base; got != 2 {
+	if got := s.shards[0].domain.Snapshot().Accesses - base; got != 2 {
 		t.Fatalf("update set charged %d metadata accesses, want 2 (LRU + stats)", got)
 	}
 }

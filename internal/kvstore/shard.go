@@ -1,0 +1,319 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/locks"
+	"repro/internal/numa"
+	"repro/internal/spin"
+)
+
+// Metadata line indices in each shard's cachesim domain.
+const (
+	lineLRU   = 0 // LRU list head/tail, touched by every operation
+	lineHash  = 1 // hash table metadata
+	lineStats = 2 // global statistics counters
+	lineAlloc = 3 // item allocator free list
+	numLines  = 4
+)
+
+// item is one cache entry: hash chain link, intrusive LRU links, the
+// last-touching cluster (for the locality charge), and the value.
+type item struct {
+	key   uint64
+	hnext *item
+	prev  *item
+	next  *item
+	owner int32
+	value []byte
+}
+
+// opSlot is per-proc statistics; each proc writes only its own slot.
+type opSlot struct {
+	gets      uint64
+	sets      uint64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	_         numa.Pad
+}
+
+// shardConfig carries the per-shard slice of a Store's Config, already
+// validated and normalized (buckets a power of two, capacity >= 1).
+type shardConfig struct {
+	topo       *numa.Topology
+	lock       locks.Mutex
+	buckets    int
+	capacity   int
+	cache      cachesim.Config
+	itemLocal  int64
+	itemRemote int64
+}
+
+// Shard is one independently locked slice of the store: a chained hash
+// table, an intrusive LRU list, per-proc statistics and a private
+// cachesim domain for its hot metadata. It is exactly the memcached
+// structure of the paper's Table 1 experiment; the pre-sharding store
+// was a single Shard behind one cache lock.
+type Shard struct {
+	lock                  locks.Mutex
+	mask                  uint64
+	buckets               []*item
+	head                  *item // MRU
+	tail                  *item // LRU victim
+	count                 int
+	capacity              int
+	free                  *item // recycled items (chained via hnext)
+	domain                *cachesim.Domain
+	slots                 []opSlot
+	itemLocal, itemRemote int64
+}
+
+func newShard(cfg shardConfig) *Shard {
+	return &Shard{
+		lock:       cfg.lock,
+		mask:       uint64(cfg.buckets - 1),
+		buckets:    make([]*item, cfg.buckets),
+		capacity:   cfg.capacity,
+		domain:     cachesim.NewDomain(cfg.topo, numLines, cfg.cache),
+		slots:      make([]opSlot, cfg.topo.MaxProcs()),
+		itemLocal:  cfg.itemLocal,
+		itemRemote: cfg.itemRemote,
+	}
+}
+
+// hash is Fibonacci hashing; keys are already integers in this model.
+func (s *Shard) hash(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> 16 & s.mask
+}
+
+func (s *Shard) find(key uint64) *item {
+	for it := s.buckets[s.hash(key)]; it != nil; it = it.hnext {
+		if it.key == key {
+			return it
+		}
+	}
+	return nil
+}
+
+// touchItem charges the item-locality latency and migrates ownership,
+// the per-item analogue of cachesim. Must hold the shard lock.
+func (s *Shard) touchItem(p *numa.Proc, it *item) {
+	c := int32(p.Cluster())
+	if it.owner != c {
+		it.owner = c
+		spin.WaitNs(s.itemRemote)
+	} else {
+		spin.WaitNs(s.itemLocal)
+	}
+}
+
+// lruFront moves it to the MRU position. Must hold the shard lock.
+func (s *Shard) lruFront(it *item) {
+	if s.head == it {
+		return
+	}
+	// unlink
+	if it.prev != nil {
+		it.prev.next = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	}
+	if s.tail == it {
+		s.tail = it.prev
+	}
+	// push front
+	it.prev = nil
+	it.next = s.head
+	if s.head != nil {
+		s.head.prev = it
+	}
+	s.head = it
+	if s.tail == nil {
+		s.tail = it
+	}
+}
+
+// unlink removes it from both the hash chain and the LRU list. Must
+// hold the shard lock.
+func (s *Shard) unlink(it *item) {
+	b := s.hash(it.key)
+	if s.buckets[b] == it {
+		s.buckets[b] = it.hnext
+	} else {
+		for cur := s.buckets[b]; cur != nil; cur = cur.hnext {
+			if cur.hnext == it {
+				cur.hnext = it.hnext
+				break
+			}
+		}
+	}
+	if it.prev != nil {
+		it.prev.next = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	}
+	if s.head == it {
+		s.head = it.next
+	}
+	if s.tail == it {
+		s.tail = it.prev
+	}
+	it.prev, it.next, it.hnext = nil, nil, nil
+}
+
+// Get looks up key, copying the value into dst (truncating if dst is
+// short). It returns the copied length and whether the key was found.
+// A hit bumps the item to the MRU position, as memcached does.
+func (s *Shard) Get(p *numa.Proc, key uint64, dst []byte) (int, bool) {
+	slot := &s.slots[p.ID()]
+	s.lock.Lock(p)
+	// The hash-bucket walk is read-only: read-shared lines replicate
+	// across caches without coherence misses, so no charge applies.
+	it := s.find(key)
+	if it == nil {
+		s.lock.Unlock(p)
+		slot.gets++
+		slot.misses++
+		return 0, false
+	}
+	// The LRU bump writes the item's own links — the one line a get
+	// dirties. Which cluster wrote the item last is a property of the
+	// key stream, not of the lock, so this cost is lock-independent
+	// noise (and is why the paper's Table 1a shows all spin locks
+	// performing alike on read-heavy loads).
+	s.touchItem(p, it)
+	s.lruFront(it)
+	n := copy(dst, it.value)
+	s.lock.Unlock(p)
+	slot.gets++
+	slot.hits++
+	return n, true
+}
+
+// Set inserts or updates key with a copy of val, evicting the LRU
+// victim if the shard is over capacity.
+func (s *Shard) Set(p *numa.Proc, key uint64, val []byte) {
+	slot := &s.slots[p.ID()]
+	s.lock.Lock(p)
+	it := s.find(key)
+	if it == nil {
+		// Structural insert: writes the bucket chain and allocator.
+		s.domain.Access(p, lineHash, 1)
+		s.domain.Access(p, lineAlloc, 2)
+		if s.free != nil {
+			it = s.free
+			s.free = it.hnext
+			it.hnext = nil
+		} else {
+			it = &item{}
+		}
+		it.key = key
+		b := s.hash(key)
+		it.hnext = s.buckets[b]
+		s.buckets[b] = it
+		s.count++
+	} else {
+		s.touchItem(p, it)
+	}
+	it.owner = int32(p.Cluster())
+	if cap(it.value) < len(val) {
+		it.value = make([]byte, len(val))
+	}
+	it.value = it.value[:len(val)]
+	copy(it.value, val)
+	s.lruFront(it)
+	s.domain.Access(p, lineLRU, 2)
+	if s.count > s.capacity {
+		victim := s.tail
+		if victim != nil && victim != it {
+			s.unlink(victim)
+			s.count--
+			victim.value = victim.value[:0]
+			victim.hnext = s.free
+			s.free = victim
+			s.domain.Access(p, lineHash, 1)
+			s.domain.Access(p, lineAlloc, 2)
+			slot.evictions++
+		}
+	}
+	// Sets mutate the global statistics counters under the cache lock
+	// (as memcached does) — together with the LRU head line above,
+	// this is the batchable portion of a set's critical section: runs
+	// of same-cluster sets keep these lines local.
+	s.domain.Access(p, lineStats, 1)
+	s.lock.Unlock(p)
+	slot.sets++
+}
+
+// Delete removes key, returning whether it was present.
+func (s *Shard) Delete(p *numa.Proc, key uint64) bool {
+	s.lock.Lock(p)
+	it := s.find(key)
+	if it == nil {
+		s.lock.Unlock(p)
+		return false
+	}
+	s.domain.Access(p, lineHash, 1)
+	s.unlink(it)
+	s.count--
+	it.value = it.value[:0]
+	it.hnext = s.free
+	s.free = it
+	s.domain.Access(p, lineAlloc, 2)
+	s.lock.Unlock(p)
+	return true
+}
+
+// Len reports the current item count (takes the shard lock).
+func (s *Shard) Len(p *numa.Proc) int {
+	s.lock.Lock(p)
+	n := s.count
+	s.lock.Unlock(p)
+	return n
+}
+
+// Capacity reports the shard's item capacity.
+func (s *Shard) Capacity() int { return s.capacity }
+
+// Snapshot aggregates the shard's statistics; call while workers are
+// quiescent.
+func (s *Shard) Snapshot() Stats {
+	var st Stats
+	for i := range s.slots {
+		sl := &s.slots[i]
+		st.Gets += sl.gets
+		st.Sets += sl.sets
+		st.Hits += sl.hits
+		st.Misses += sl.misses
+		st.Evictions += sl.evictions
+	}
+	st.MetaMisses = s.domain.Snapshot().Misses
+	return st
+}
+
+// checkLRU validates list integrity; tests use it.
+func (s *Shard) checkLRU() error {
+	seen := 0
+	var prev *item
+	for it := s.head; it != nil; it = it.next {
+		if it.prev != prev {
+			return fmt.Errorf("kvstore: broken prev link at %d", it.key)
+		}
+		prev = it
+		seen++
+		if seen > s.count {
+			return fmt.Errorf("kvstore: LRU longer than count %d", s.count)
+		}
+	}
+	if s.tail != prev {
+		return fmt.Errorf("kvstore: tail mismatch")
+	}
+	if seen != s.count {
+		return fmt.Errorf("kvstore: LRU has %d items, count %d", seen, s.count)
+	}
+	return nil
+}

@@ -102,6 +102,42 @@ var entries = []Entry{
 	},
 }
 
+// MutexFactory returns a factory that builds independent blocking
+// instances of this lock for topo, or nil if the entry is not
+// blocking. The factory is safe to call any number of times; every
+// call constructs a fresh, unshared lock. Sharded stores use this to
+// build one lock per shard from a single registry name.
+func (e Entry) MutexFactory(topo *numa.Topology) func() locks.Mutex {
+	if e.NewMutex == nil {
+		return nil
+	}
+	return func() locks.Mutex { return e.NewMutex(topo) }
+}
+
+// TryFactory is MutexFactory for the abortable interface, or nil if
+// the entry is not abortable.
+func (e Entry) TryFactory(topo *numa.Topology) func() locks.TryMutex {
+	if e.NewTry == nil {
+		return nil
+	}
+	return func() locks.TryMutex { return e.NewTry(topo) }
+}
+
+// BuildMutexes constructs n independent blocking instances of this
+// lock. It panics if the entry is not blocking; callers select from
+// Blocking() or check NewMutex first.
+func (e Entry) BuildMutexes(topo *numa.Topology, n int) []locks.Mutex {
+	f := e.MutexFactory(topo)
+	if f == nil {
+		panic(fmt.Sprintf("registry: %s has no blocking factory", e.Name))
+	}
+	out := make([]locks.Mutex, n)
+	for i := range out {
+		out[i] = f()
+	}
+	return out
+}
+
 // All returns every registered entry, in presentation order.
 func All() []Entry {
 	out := make([]Entry, len(entries))

@@ -57,10 +57,12 @@ func SetOversubscribed(b bool) { oversubscribed.Store(b) }
 func Oversubscribed() bool { return oversubscribed.Load() }
 
 // AutoOversubscribe sets the discipline from a worker count and
-// reports the previous value.
+// reports the previous value. A single worker never contends with
+// anyone for a processor, so it never oversubscribes — even when
+// GOMAXPROCS is 1.
 func AutoOversubscribe(workers int) bool {
 	prev := oversubscribed.Load()
-	oversubscribed.Store(workers >= runtime.GOMAXPROCS(0))
+	oversubscribed.Store(workers > 1 && workers >= runtime.GOMAXPROCS(0))
 	return prev
 }
 

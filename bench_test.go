@@ -243,6 +243,32 @@ func BenchmarkShardPlacement(b *testing.B) {
 	}
 }
 
+// BenchmarkCNA measures the compact NUMA-aware extension lock on
+// LBench at the Figure 2 high-contention point and the Figure 4
+// low-contention point, so its rows land beside the cohort locks'.
+func BenchmarkCNA(b *testing.B) {
+	b.Run("contended", func(b *testing.B) {
+		benchLBench(b, "cna", contendedThreads(), lbench.Result.Throughput, "pairs/s")
+	})
+	b.Run("low", func(b *testing.B) {
+		benchLBench(b, "cna", 2, lbench.Result.Throughput, "pairs/s")
+	})
+	b.Run("batch", func(b *testing.B) {
+		benchLBench(b, "cna", contendedThreads(), lbench.Result.AvgBatch, "CS/batch")
+	})
+}
+
+// BenchmarkGCR measures the concurrency-restriction wrapper at the
+// high-contention point over each registered inner lock — the regime
+// where admission control is supposed to pay for itself.
+func BenchmarkGCR(b *testing.B) {
+	for _, name := range []string{"gcr-mcs", "gcr-cna", "gcr-c-bo-mcs"} {
+		b.Run(name, func(b *testing.B) {
+			benchLBench(b, name, contendedThreads(), lbench.Result.Throughput, "pairs/s")
+		})
+	}
+}
+
 // BenchmarkTable2Malloc reproduces Table 2: mmicro malloc-free pairs
 // per millisecond, with the cross-cluster block-reuse rate (the
 // paper's explanatory mechanism) as a companion metric.

@@ -44,7 +44,7 @@ func main() {
 		figFlag      = flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,batch,all")
 		ablationFlag = flag.String("ablation", "", "ablation to run: handoff")
 		threadsFlag  = flag.String("threads", "1,2,4,8,16,32,64,128", "comma-separated thread counts")
-		locksFlag    = flag.String("locks", "", "override lock list (default: the figure's paper set)")
+		locksFlag    = flag.String("locks", "", "override lock list (default: the figure's paper set; extension locks like cna and gcr-mcs are valid here)")
 		clustersFlag = flag.Int("clusters", 4, "NUMA clusters to simulate (paper: 4 sockets)")
 		durationFlag = flag.Duration("duration", 300*time.Millisecond, "measurement window per point (paper: 60s)")
 		patienceFlag = flag.Duration("patience", lbench.DefaultPatience, "acquisition patience for Figure 6")
@@ -122,9 +122,12 @@ func run(opt options) error {
 func sweepBlocking(opt options, topo *numa.Topology, names []string) (map[string][]lbench.Result, error) {
 	results := make(map[string][]lbench.Result, len(names))
 	for _, name := range names {
-		e, ok := registry.Lookup(name)
-		if !ok || e.NewMutex == nil {
-			return nil, fmt.Errorf("unknown or non-blocking lock %q", name)
+		e, err := registry.Find(name)
+		if err != nil {
+			return nil, err
+		}
+		if e.NewMutex == nil {
+			return nil, fmt.Errorf("lock %q is abortable-only; use it with -fig 6", name)
 		}
 		for _, n := range opt.threads {
 			runtime.GC() // keep collector work out of the window
@@ -145,9 +148,12 @@ func sweepBlocking(opt options, topo *numa.Topology, names []string) (map[string
 func sweepAbortable(opt options, topo *numa.Topology, names []string) (map[string][]lbench.Result, error) {
 	results := make(map[string][]lbench.Result, len(names))
 	for _, name := range names {
-		e, ok := registry.Lookup(name)
-		if !ok || e.NewTry == nil {
-			return nil, fmt.Errorf("unknown or non-abortable lock %q", name)
+		e, err := registry.Find(name)
+		if err != nil {
+			return nil, err
+		}
+		if e.NewTry == nil {
+			return nil, fmt.Errorf("lock %q is not abortable; Figure 6 needs a TryMutex", name)
 		}
 		for _, n := range opt.threads {
 			runtime.GC()

@@ -4,6 +4,12 @@
 // presents: C-BO-BO, C-TKT-TKT, C-BO-MCS, C-TKT-MCS, C-MCS-MCS and the
 // abortable A-C-BO-BO and A-C-BO-CLH.
 //
+// Beyond the paper it carries two extensions from the same design
+// lineage: the compact NUMA-aware lock (NewCNA), which gets cohort-
+// style locality out of a single queue, and generic concurrency
+// restriction (NewRestricted), which wraps any lock with per-cluster
+// admission control so saturation cannot collapse throughput.
+//
 // # Model
 //
 // A cohort lock composes a thread-oblivious global lock with one
@@ -46,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/locks"
 	"repro/internal/numa"
 )
 
@@ -210,8 +217,39 @@ func NewLocalMCS(topo *Topology) LocalLock { return core.NewLocalMCS(topo) }
 // local component of custom compositions.
 func NewLocalCLH(topo *Topology) LocalLock { return core.NewLocalCLH(topo) }
 
+// CNALock is the compact NUMA-aware queue lock of Dice and Kogan
+// (EuroSys 2019): cohort-style locality from a single MCS-shaped queue
+// with constant memory. See NewCNA.
+type CNALock = locks.CNA
+
+// NewCNA returns a compact NUMA-aware lock for the topology: one
+// queue, with remote-cluster waiters deferred onto a secondary list up
+// to a bounded same-cluster streak (the cohort locks' fairness knob).
+func NewCNA(topo *Topology) *CNALock { return locks.NewCNA(topo) }
+
+// NewCNAStreak is NewCNA with an explicit local-streak bound; zero
+// selects the default, negative removes the bound.
+func NewCNAStreak(topo *Topology, limit int64) *CNALock {
+	return locks.NewCNAStreak(topo, limit)
+}
+
+// RestrictedLock wraps any Lock with generic concurrency restriction
+// (Dice & Kogan, 2019): at most K waiters per cluster compete for the
+// inner lock, the surplus parks FIFO. See NewRestricted.
+type RestrictedLock = core.Restricted
+
+// NewRestricted applies admission control around inner: at most
+// perCluster waiters per cluster compete at once (non-positive selects
+// a GOMAXPROCS-derived default). Under saturation this keeps
+// throughput flat instead of collapsing as threads are added.
+func NewRestricted(topo *Topology, inner Lock, perCluster int) *RestrictedLock {
+	return core.NewRestricted(topo, inner, perCluster)
+}
+
 // Interface conformance checks.
 var (
 	_ Lock    = (*CohortLock)(nil)
 	_ TryLock = (*AbortableCohortLock)(nil)
+	_ Lock    = (*CNALock)(nil)
+	_ Lock    = (*RestrictedLock)(nil)
 )

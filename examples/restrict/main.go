@@ -1,0 +1,48 @@
+// Concurrency restriction: the fix for scalability collapse. Past
+// saturation, every thread added to a lock's waiting crowd only adds
+// hand-off latency and — under the Go runtime — scheduler round-trips.
+// This example oversubscribes a lock far beyond GOMAXPROCS and
+// measures LBench throughput bare versus wrapped in the GCR admission
+// controller (at most K active waiters per cluster, the surplus parked
+// FIFO). The wrapped lock should hold its throughput roughly flat as
+// the thread count grows; the bare lock decays.
+//
+// Run with:
+//
+//	go run ./examples/restrict
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lbench"
+	"repro/internal/locks"
+	"repro/internal/numa"
+)
+
+func main() {
+	threadCounts := []int{4, 16, 64}
+	topo := numa.New(4, 64)
+
+	fmt.Printf("GOMAXPROCS=%d — LBench pairs/sec, bare MCS vs GCR(MCS)\n\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Printf("%8s %12s %12s\n", "threads", "mcs", "gcr-mcs")
+	for _, n := range threadCounts {
+		bare := run(topo, n, locks.NewMCS(topo))
+		restricted := run(topo, n, core.NewRestricted(topo, locks.NewMCS(topo), 0))
+		fmt.Printf("%8d %12.0f %12.0f\n", n, bare, restricted)
+	}
+}
+
+func run(topo *numa.Topology, threads int, l locks.Mutex) float64 {
+	cfg := lbench.DefaultConfig(topo, threads)
+	cfg.Duration = 200 * time.Millisecond
+	res, err := lbench.Run(cfg, l)
+	if err != nil {
+		panic(err)
+	}
+	return res.Throughput()
+}

@@ -37,6 +37,7 @@ func factories() map[string]func(topo *numa.Topology) locks.Mutex {
 		"clh":     func(topo *numa.Topology) locks.Mutex { return locks.NewCLH(topo) },
 		"hbo":     func(*numa.Topology) locks.Mutex { return locks.NewHBO(locks.LBenchHBOConfig()) },
 		"hclh":    func(topo *numa.Topology) locks.Mutex { return locks.NewHCLH(topo) },
+		"cna":     func(topo *numa.Topology) locks.Mutex { return locks.NewCNA(topo) },
 		"fc-mcs":  func(topo *numa.Topology) locks.Mutex { return locks.NewFCMCS(topo) },
 		"pthread": func(*numa.Topology) locks.Mutex { return locks.NewPthread() },
 		"a-clh":   func(topo *numa.Topology) locks.Mutex { return locks.NewACLH(topo) },

@@ -38,9 +38,28 @@ func (s *shared) enter() {
 	s.inCS.Add(-1)
 }
 
+// harnessDeadline bounds every quota-based harness run: a lock that
+// deadlocks or starves a waiter fails within this window instead of
+// wedging the suite until the go-test timeout panics.
+const harnessDeadline = 2 * time.Minute
+
+// awaitWorkers waits for wg within harnessDeadline and fails the test
+// with what on expiry.
+func awaitWorkers(t *testing.T, wg *sync.WaitGroup, what string) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(harnessDeadline):
+		t.Fatal(what)
+	}
+}
+
 // CheckMutex stress-tests mutual exclusion: procs goroutines each
 // acquire m iters times around a shared critical section. It fails the
-// test on any exclusion violation or lost update.
+// test on any exclusion violation or lost update, and on a run that
+// outlives the harness deadline (deadlock, lost wakeup, starvation).
 func CheckMutex(t *testing.T, topo *numa.Topology, m locks.Mutex, procs, iters int) {
 	t.Helper()
 	if procs > topo.MaxProcs() {
@@ -61,7 +80,7 @@ func CheckMutex(t *testing.T, topo *numa.Topology, m locks.Mutex, procs, iters i
 			}
 		}(i)
 	}
-	wg.Wait()
+	awaitWorkers(t, &wg, "workers never finished: deadlock, lost wakeup or starvation")
 	if v := s.violations.Load(); v != 0 {
 		t.Fatalf("mutual exclusion violated %d times", v)
 	}
@@ -102,7 +121,7 @@ func CheckTryMutex(t *testing.T, topo *numa.Topology, m locks.TryMutex, procs, i
 			}
 		}(i)
 	}
-	wg.Wait()
+	awaitWorkers(t, &wg, "try-lock workers never finished: deadlock, lost wakeup or starvation")
 	if v := s.violations.Load(); v != 0 {
 		t.Fatalf("mutual exclusion violated %d times", v)
 	}
@@ -113,6 +132,51 @@ func CheckTryMutex(t *testing.T, topo *numa.Topology, m locks.TryMutex, procs, i
 		t.Fatal("no acquisition ever succeeded")
 	}
 	return okCount.Load(), abortCount.Load()
+}
+
+// CheckFairness verifies a lock's waits stay bounded under skewed
+// load: the first proc of every cluster is an aggressor that
+// re-arrives for 10x the quota, and every other worker must still
+// complete its iters critical sections within the harness deadline. A
+// lock that lets eager re-arrivals starve a waiter (a deferred queue
+// node never spliced back, a parked thread never promoted) turns the
+// victim's quota into a hang, which the deadline reports as a
+// failure. Quotas rather than a wall-clock window keep the check
+// independent of scheduler timing (GOMAXPROCS=1 under -race
+// legitimately runs workers very unevenly over short windows).
+func CheckFairness(t *testing.T, topo *numa.Topology, m locks.Mutex, procs, iters int) {
+	t.Helper()
+	if procs > topo.MaxProcs() {
+		t.Fatalf("locktest: %d procs exceeds topology max %d", procs, topo.MaxProcs())
+	}
+	spin.AutoOversubscribe(procs)
+	var s shared
+	var wg sync.WaitGroup
+	total := int64(0)
+	for i := 0; i < procs; i++ {
+		quota := iters
+		if i < topo.Clusters() {
+			quota = 10 * iters // the cluster's aggressor
+		}
+		total += int64(quota)
+		wg.Add(1)
+		go func(id, quota int) {
+			defer wg.Done()
+			p := topo.Proc(id)
+			for k := 0; k < quota; k++ {
+				m.Lock(p)
+				s.enter()
+				m.Unlock(p)
+			}
+		}(i, quota)
+	}
+	awaitWorkers(t, &wg, "fairness deadline exceeded: a worker's acquisitions are unbounded-delayed (starvation or lost wakeup)")
+	if v := s.violations.Load(); v != 0 {
+		t.Fatalf("mutual exclusion violated %d times", v)
+	}
+	if s.a != total || s.b != total {
+		t.Fatalf("lost updates: counters (%d,%d), want %d", s.a, s.b, total)
+	}
 }
 
 // CheckHandoff verifies a lock hands over between two specific procs

@@ -4,7 +4,9 @@
 package registry
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/locks"
@@ -85,6 +87,22 @@ var entries = []Entry{
 		NewMutex: func(t *numa.Topology) locks.Mutex { return core.NewCBOCLH(t) },
 	},
 	{
+		Name: "cna", Desc: "compact NUMA-aware queue lock (Dice & Kogan, EuroSys '19)", Extension: true,
+		NewMutex: func(t *numa.Topology) locks.Mutex { return locks.NewCNA(t) },
+	},
+	{
+		Name: "gcr-mcs", Desc: "concurrency restriction (GCR) over the MCS queue lock", Extension: true,
+		NewMutex: func(t *numa.Topology) locks.Mutex { return core.NewRestricted(t, locks.NewMCS(t), 0) },
+	},
+	{
+		Name: "gcr-cna", Desc: "concurrency restriction (GCR) over the CNA lock", Extension: true,
+		NewMutex: func(t *numa.Topology) locks.Mutex { return core.NewRestricted(t, locks.NewCNA(t), 0) },
+	},
+	{
+		Name: "gcr-c-bo-mcs", Desc: "concurrency restriction (GCR) over the C-BO-MCS cohort lock", Extension: true,
+		NewMutex: func(t *numa.Topology) locks.Mutex { return core.NewRestricted(t, core.NewCBOMCS(t), 0) },
+	},
+	{
 		Name: "a-clh", Desc: "abortable CLH lock (Scott), abortable baseline",
 		NewTry: func(t *numa.Topology) locks.TryMutex { return locks.NewACLH(t) },
 	},
@@ -145,8 +163,16 @@ func All() []Entry {
 	return out
 }
 
-// Lookup finds an entry by name.
+// normalize maps user-supplied spellings onto registry names: names
+// are registered lower-case, but CLI users type C-BO-MCS as the paper
+// prints it.
+func normalize(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+// Lookup finds an entry by name, case-insensitively.
 func Lookup(name string) (Entry, bool) {
+	name = normalize(name)
 	for _, e := range entries {
 		if e.Name == name {
 			return e, true
@@ -155,14 +181,78 @@ func Lookup(name string) (Entry, bool) {
 	return Entry{}, false
 }
 
+// Find is Lookup with a CLI-grade error: unknown names produce a "did
+// you mean" suggestion (close or substring matches) plus the full list
+// of valid names, so a typo never dead-ends.
+func Find(name string) (Entry, error) {
+	if e, ok := Lookup(name); ok {
+		return e, nil
+	}
+	var msg strings.Builder
+	fmt.Fprintf(&msg, "unknown lock %q", name)
+	if s := suggest(normalize(name)); len(s) > 0 {
+		fmt.Fprintf(&msg, " — did you mean %s?", strings.Join(s, ", "))
+	}
+	fmt.Fprintf(&msg, " (valid locks: %s)", strings.Join(Names(), ", "))
+	return Entry{}, errors.New(msg.String())
+}
+
+// suggest returns registered names within edit distance 2 of name, or
+// failing that, names containing (or contained in) it.
+func suggest(name string) []string {
+	var near, sub []string
+	for _, e := range entries {
+		if editDistance(name, e.Name) <= 2 {
+			near = append(near, e.Name)
+		} else if name != "" && (strings.Contains(e.Name, name) || strings.Contains(name, e.Name)) {
+			sub = append(sub, e.Name)
+		}
+	}
+	if len(near) > 0 {
+		return near
+	}
+	return sub
+}
+
+// editDistance is the Levenshtein distance between a and b, two rows
+// at a time; the inputs are short lock names, so no cutoffs needed.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
 // MustLookup is Lookup that panics on unknown names; tools use it
 // after validating flags.
 func MustLookup(name string) Entry {
-	e, ok := Lookup(name)
-	if !ok {
-		panic(fmt.Sprintf("registry: unknown lock %q", name))
+	e, err := Find(name)
+	if err != nil {
+		panic("registry: " + err.Error())
 	}
 	return e
+}
+
+// Names lists every registered lock name, in presentation order.
+func Names() []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
 }
 
 // Blocking returns the entries usable as blocking locks, in order.
@@ -199,8 +289,22 @@ func Figure6Names() []string {
 	return []string{"a-clh", "a-hbo", "a-c-bo-bo", "a-c-bo-clh"}
 }
 
-// TableNames lists the lock columns of Tables 1 and 2.
+// TableNames lists the lock columns of Tables 1 and 2, exactly as the
+// paper prints them; tools that also want the post-paper locks append
+// from ExtensionNames (kvbench does).
 func TableNames() []string {
 	return []string{"pthread", "fib-bo", "mcs", "hbo", "hbo-tuned", "fc-mcs",
 		"c-bo-bo", "c-tkt-tkt", "c-bo-mcs", "c-tkt-mcs", "c-mcs-mcs"}
+}
+
+// ExtensionNames lists the blocking locks beyond the paper's
+// evaluation set, in presentation order.
+func ExtensionNames() []string {
+	var out []string
+	for _, e := range entries {
+		if e.Extension && e.NewMutex != nil {
+			out = append(out, e.Name)
+		}
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/numa"
@@ -41,6 +42,82 @@ func TestLookup(t *testing.T) {
 		}
 	}()
 	MustLookup("nonsense")
+}
+
+func TestLookupNormalizesCase(t *testing.T) {
+	// CLI users type names as the paper prints them.
+	for _, name := range []string{"C-BO-MCS", "c-bo-mcs", " c-bo-mcs ", "CNA", "GCR-MCS"} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("Lookup(%q) failed; names should be case- and space-insensitive", name)
+		}
+	}
+}
+
+func TestFindErrors(t *testing.T) {
+	if _, err := Find("c-bo-mcs"); err != nil {
+		t.Fatalf("Find on a valid name errored: %v", err)
+	}
+	if _, err := Find("C-BO-MCS"); err != nil {
+		t.Fatalf("Find should normalize case: %v", err)
+	}
+	_, err := Find("c-bo-mc") // one edit away
+	if err == nil {
+		t.Fatal("Find on a typo did not error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"did you mean", "c-bo-mcs", "valid locks"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+	// A hopeless name still lists the valid set, without suggestions.
+	_, err = Find("zzzzzzzzzz")
+	if err == nil {
+		t.Fatal("Find on garbage did not error")
+	}
+	if strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("garbage name produced a suggestion: %v", err)
+	}
+	if !strings.Contains(err.Error(), "valid locks") {
+		t.Errorf("error %q does not list valid locks", err)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"mcs", "mcs", 0},
+		{"mcs", "mc", 1},
+		{"cna", "clh", 2},
+		{"c-bo-mcs", "c-bo-bo", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestExtensionNames(t *testing.T) {
+	names := ExtensionNames()
+	want := map[string]bool{"cna": false, "gcr-mcs": false, "gcr-cna": false, "gcr-c-bo-mcs": false}
+	for _, n := range names {
+		e := MustLookup(n)
+		if !e.Extension || e.NewMutex == nil {
+			t.Errorf("%s listed as blocking extension but is not", n)
+		}
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("extension lock %s missing from ExtensionNames", n)
+		}
+	}
 }
 
 func TestFigureAndTableNamesResolve(t *testing.T) {

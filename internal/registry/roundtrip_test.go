@@ -1,0 +1,55 @@
+package registry
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/locktest"
+	"repro/internal/numa"
+)
+
+// TestEveryBlockingEntryPassesLocktest round-trips every registered
+// blocking lock through the mutual-exclusion harness at 2 clusters × 8
+// procs. Registering a lock is enough to get it exercised here (and
+// under -race in CI), so a future entry whose factory builds a broken
+// instance fails the suite without any new test code.
+func TestEveryBlockingEntryPassesLocktest(t *testing.T) {
+	for _, e := range All() {
+		if e.NewMutex == nil {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			topo := numa.New(2, 8)
+			locktest.CheckMutex(t, topo, e.NewMutex(topo), 8, 150)
+		})
+	}
+}
+
+// TestEveryAbortableEntryPassesLocktest is the same automatic gate for
+// the abortable factories.
+func TestEveryAbortableEntryPassesLocktest(t *testing.T) {
+	for _, e := range All() {
+		if e.NewTry == nil {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			topo := numa.New(2, 8)
+			locktest.CheckTryMutex(t, topo, e.NewTry(topo), 8, 150, 200*time.Microsecond)
+		})
+	}
+}
+
+// TestNewLocksSatisfyFairnessHarness runs the extension locks through
+// the starvation check: every proc must complete its quota despite
+// CNA's deferral and GCR's admission throttling.
+func TestNewLocksSatisfyFairnessHarness(t *testing.T) {
+	for _, name := range []string{"cna", "gcr-mcs", "gcr-cna", "gcr-c-bo-mcs"} {
+		e := MustLookup(name)
+		t.Run(name, func(t *testing.T) {
+			topo := numa.New(2, 8)
+			locktest.CheckFairness(t, topo, e.NewMutex(topo), 8, 200)
+		})
+	}
+}

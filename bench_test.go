@@ -20,6 +20,7 @@ import (
 	"repro/internal/kvload"
 	"repro/internal/kvstore"
 	"repro/internal/lbench"
+	"repro/internal/locks"
 	"repro/internal/mmicro"
 	"repro/internal/numa"
 	"repro/internal/registry"
@@ -355,9 +356,117 @@ func BenchmarkUncontended(b *testing.B) {
 	}
 }
 
+// rwTrialOpsPerSec runs one fixed-window trial against a reader-writer
+// lock: threads workers draw a readPct read mix; reads go through
+// shared mode when shared is set, everything else through exclusive
+// mode. Both RW benchmark families share this harness.
+func rwTrialOpsPerSec(topo *numa.Topology, l *core.RWCohortLock, threads, readPct int, shared bool) float64 {
+	var ops atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(p *numa.Proc) {
+			defer wg.Done()
+			n := uint64(0)
+			for {
+				select {
+				case <-stop:
+					ops.Add(n)
+					return
+				default:
+				}
+				if read := int(p.RandN(100)) < readPct; read && shared {
+					l.RLock(p)
+					l.RUnlock(p)
+				} else {
+					l.Lock(p)
+					l.Unlock(p)
+				}
+				n++
+			}
+		}(topo.Proc(w))
+	}
+	time.Sleep(trialWindow)
+	close(stop)
+	wg.Wait()
+	return float64(ops.Load()) / trialWindow.Seconds()
+}
+
+// BenchmarkRWCohort sweeps read fractions (50/90/99%) over the
+// reader-writer cohort lock, racing shared-mode reads against the same
+// construction with every read through exclusive mode — the read-side
+// scaling claim in one exhibit. At 99% reads shared mode should pull
+// away; at 50% the writer drain dominates and the gap closes.
+func BenchmarkRWCohort(b *testing.B) {
+	threads := contendedThreads()
+	for _, readPct := range []int{50, 90, 99} {
+		for _, shared := range []bool{true, false} {
+			name := "read" + itoa(int64(readPct)) + "/exclusive"
+			if shared {
+				name = "read" + itoa(int64(readPct)) + "/shared"
+			}
+			b.Run(name, func(b *testing.B) {
+				topo := numa.New(4, threads)
+				l := core.NewRWCBOMCS(topo)
+				var sum float64
+				for i := 0; i < b.N; i++ {
+					sum += rwTrialOpsPerSec(topo, l, threads, readPct, shared)
+				}
+				b.ReportMetric(sum/float64(b.N), "ops/s")
+			})
+		}
+	}
+}
+
+// BenchmarkKVReadPath measures the store's read path beyond one shard:
+// a 99% read mix over 4 cluster-affine shards, shared-mode Gets vs the
+// same rw lock driven exclusively — the end-to-end version of
+// BenchmarkRWCohort through every store layer.
+func BenchmarkKVReadPath(b *testing.B) {
+	threads := contendedThreads()
+	e := registry.MustLookup("rw-c-bo-mcs")
+	const keyspace = 20_000
+	for _, shared := range []bool{true, false} {
+		name := "exclusive"
+		if shared {
+			name = "shared"
+		}
+		b.Run(name, func(b *testing.B) {
+			topo := numa.New(4, threads)
+			newRW := e.RWFactory(topo)
+			if !shared {
+				newRW = func() locks.RWMutex { return locks.RWFromMutex(e.NewRW(topo)) }
+			}
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				store := kvstore.New(kvstore.Config{
+					Topo:      topo,
+					NewRWLock: newRW,
+					Shards:    4,
+					Placement: kvstore.ClusterAffine,
+					Capacity:  keyspace * topo.Clusters() * 2,
+				})
+				kvload.PopulateClusters(store, topo, keyspace, 128)
+				cfg := kvload.DefaultConfig(topo, threads, 99)
+				cfg.Duration = trialWindow
+				cfg.Keyspace = keyspace
+				cfg.ReadFraction = 0.99
+				res, err := kvload.Run(cfg, store)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += res.Throughput()
+			}
+			b.ReportMetric(sum/float64(b.N), "ops/s")
+		})
+	}
+}
+
 // BenchmarkExtensionRWCohort measures the reader-writer extension:
 // read-mostly throughput where readers touch only their cluster's
-// counter line.
+// counter line (shared mode throughout; the write-pct axis complements
+// BenchmarkRWCohort's shared-vs-exclusive read sweep).
 func BenchmarkExtensionRWCohort(b *testing.B) {
 	threads := contendedThreads()
 	for _, writePct := range []int{0, 5, 50} {
@@ -366,36 +475,7 @@ func BenchmarkExtensionRWCohort(b *testing.B) {
 			l := core.NewRWCBOMCS(topo)
 			var sum float64
 			for i := 0; i < b.N; i++ {
-				var ops atomic.Uint64
-				var wg sync.WaitGroup
-				stop := make(chan struct{})
-				for w := 0; w < threads; w++ {
-					wg.Add(1)
-					go func(p *numa.Proc) {
-						defer wg.Done()
-						n := uint64(0)
-						for {
-							select {
-							case <-stop:
-								ops.Add(n)
-								return
-							default:
-							}
-							if int(p.RandN(100)) < writePct {
-								l.Lock(p)
-								l.Unlock(p)
-							} else {
-								l.RLock(p)
-								l.RUnlock(p)
-							}
-							n++
-						}
-					}(topo.Proc(w))
-				}
-				time.Sleep(trialWindow)
-				close(stop)
-				wg.Wait()
-				sum += float64(ops.Load()) / trialWindow.Seconds()
+				sum += rwTrialOpsPerSec(topo, l, threads, 100-writePct, true)
 			}
 			b.ReportMetric(sum/float64(b.N), "ops/s")
 		})

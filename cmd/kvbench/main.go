@@ -14,6 +14,14 @@
 // biasing each worker's keys toward its own cluster's shards. Multiple
 // shard counts additionally emit a shard-scaling table, and -json
 // emits every measured cell as a JSON record for trajectory tooling.
+//
+// -reads switches to the reader-writer read-path table: a read-mostly
+// mix at the given fraction (e.g. -reads=0.99), with two columns per
+// reader-writer lock — shared-mode Gets against the same lock driven
+// through its exclusive path (`<name>/x`) — across every -shards
+// count. This is the Table-1-style exhibit for the cohort line's RW
+// follow-up: on read-mostly traffic shared mode should pull away from
+// every exclusive column.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/kvload"
 	"repro/internal/kvstore"
+	"repro/internal/locks"
 	"repro/internal/numa"
 	"repro/internal/registry"
 	"repro/internal/stats"
@@ -41,6 +50,7 @@ type options struct {
 	duration  time.Duration
 	keyspace  uint64
 	affinity  float64
+	reads     float64
 	placement kvstore.Placement
 	csv       bool
 	jsonOut   bool
@@ -56,6 +66,11 @@ type record struct {
 	Affinity  float64 `json:"affinity"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	Speedup   float64 `json:"speedup_vs_pthread1"`
+	// Reads and ReadPath are populated by -reads (RW read-path) runs:
+	// the exact read fraction and whether Gets ran in shared or
+	// exclusive mode.
+	Reads    float64 `json:"read_fraction,omitempty"`
+	ReadPath string  `json:"read_path,omitempty"`
 }
 
 func main() {
@@ -66,6 +81,7 @@ func main() {
 		shardsFlag    = flag.String("shards", "1", "comma-separated shard counts; 1 reproduces the paper's single cache lock")
 		placementFlag = flag.String("placement", "affine", "shard placement: hashmod or affine")
 		affinityFlag  = flag.Float64("affinity", 0, "probability a worker's keys target its own cluster's shards [0,1]")
+		readsFlag     = flag.Float64("reads", 0, "read fraction for the RW read-path table (e.g. 0.99); >0 replaces -mix and compares shared vs exclusive Gets")
 		clustersFlag  = flag.Int("clusters", 4, "NUMA clusters to simulate")
 		durationFlag  = flag.Duration("duration", 300*time.Millisecond, "measurement window per cell")
 		keysFlag      = flag.Uint64("keys", 50_000, "distinct keys (pre-populated)")
@@ -79,6 +95,7 @@ func main() {
 		duration: *durationFlag,
 		keyspace: *keysFlag,
 		affinity: *affinityFlag,
+		reads:    *readsFlag,
 		csv:      *csvFlag,
 		jsonOut:  *jsonFlag,
 		locks:    cli.ParseNameList(*locksFlag),
@@ -113,11 +130,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kvbench: -affinity %v outside [0,1]\n", opt.affinity)
 		os.Exit(2)
 	}
+	if !(opt.reads >= 0 && opt.reads <= 1) { // inverted to reject NaN
+		fmt.Fprintf(os.Stderr, "kvbench: -reads %v outside [0,1]\n", opt.reads)
+		os.Exit(2)
+	}
 	if len(opt.locks) == 0 {
-		// The paper's Table 1 columns plus the headline extension locks,
-		// so the standard tables track the growing family. (mallocbench
-		// keeps the bare paper set for Table 2.)
-		opt.locks = append(registry.TableNames(), "cna", "gcr-mcs")
+		if opt.reads > 0 {
+			// The RW table defaults to the native reader-writer family;
+			// each gets a shared and an exclusive column.
+			opt.locks = registry.RWNames()
+		} else {
+			// The paper's Table 1 columns plus the headline extension locks,
+			// so the standard tables track the growing family. (mallocbench
+			// keeps the bare paper set for Table 2.)
+			opt.locks = append(registry.TableNames(), "cna", "gcr-mcs")
+		}
 	}
 	if err := run(opt); err != nil {
 		fmt.Fprintf(os.Stderr, "kvbench: %v\n", err)
@@ -143,12 +170,20 @@ func run(opt options) error {
 	topo := numa.New(opt.clusters, maxThreads)
 
 	var records []record
-	for _, mix := range opt.mixes {
-		recs, err := runMix(opt, topo, mix)
+	if opt.reads > 0 {
+		recs, err := runRW(opt, topo)
 		if err != nil {
 			return err
 		}
-		records = append(records, recs...)
+		records = recs
+	} else {
+		for _, mix := range opt.mixes {
+			recs, err := runMix(opt, topo, mix)
+			if err != nil {
+				return err
+			}
+			records = append(records, recs...)
+		}
 	}
 	if opt.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -156,6 +191,29 @@ func run(opt options) error {
 		return enc.Encode(records)
 	}
 	return nil
+}
+
+// sizeShards configures the multi-shard slice of cfg. It keeps the
+// comparison against the single-shard cell apples-to-apples: every
+// keyspace view gets at least the single-shard default capacity and
+// bucket count. Under ClusterAffine each cluster's view spans only its
+// home-shard group, so size per shard from the smallest group; views
+// with more home shards get proportional slack. Parity is exact when
+// -shards divides evenly by -clusters and is a power of two (the store
+// rounds per-shard buckets up to a power of two).
+func sizeShards(cfg *kvstore.Config, opt options, topo *numa.Topology, shards int) {
+	cfg.Shards = shards
+	cfg.Placement = opt.placement
+	cfg.Capacity = 1 << 16
+	cfg.Buckets = 1 << 15
+	if opt.placement == kvstore.ClusterAffine {
+		minGroup := shards / topo.Clusters()
+		if minGroup < 1 {
+			minGroup = 1
+		}
+		cfg.Capacity = shards * (1 << 16) / minGroup
+		cfg.Buckets = shards * (1 << 15) / minGroup
+	}
 }
 
 // newStore builds one cell's store: a single pre-built lock on the
@@ -168,25 +226,26 @@ func newStore(opt options, topo *numa.Topology, e registry.Entry, shards int) *k
 		return kvstore.New(cfg)
 	}
 	cfg.NewLock = e.MutexFactory(topo)
-	cfg.Shards = shards
-	cfg.Placement = opt.placement
-	// Keep the comparison against the single-shard cell apples-to-
-	// apples: every keyspace view gets at least the single-shard
-	// default capacity and bucket count. Under ClusterAffine each
-	// cluster's view spans only its home-shard group, so size per
-	// shard from the smallest group; views with more home shards get
-	// proportional slack. Parity is exact when -shards divides evenly
-	// by -clusters and is a power of two (the store rounds per-shard
-	// buckets up to a power of two).
-	cfg.Capacity = 1 << 16
-	cfg.Buckets = 1 << 15
-	if opt.placement == kvstore.ClusterAffine {
-		minGroup := shards / topo.Clusters()
-		if minGroup < 1 {
-			minGroup = 1
-		}
-		cfg.Capacity = shards * (1 << 16) / minGroup
-		cfg.Buckets = shards * (1 << 15) / minGroup
+	sizeShards(&cfg, opt, topo, shards)
+	return kvstore.New(cfg)
+}
+
+// newStoreRW builds one RW-table cell's store. shared selects the
+// genuine shared read path; exclusive cells run the same lock
+// construction with every Get through exclusive mode (RWFromMutex),
+// so the two columns differ only in the read protocol.
+func newStoreRW(opt options, topo *numa.Topology, e registry.Entry, shards int, shared bool) *kvstore.Store {
+	f := e.RWFactory(topo)
+	if !shared {
+		inner := f
+		f = func() locks.RWMutex { return locks.RWFromMutex(inner()) }
+	}
+	cfg := kvstore.Config{Topo: topo}
+	if shards <= 1 {
+		cfg.RWLock = f()
+	} else {
+		cfg.NewRWLock = f
+		sizeShards(&cfg, opt, topo, shards)
 	}
 	return kvstore.New(cfg)
 }
@@ -213,6 +272,101 @@ func measure(opt options, topo *numa.Topology, lockName string, threads, getPct,
 		return 0, fmt.Errorf("%s @%d x%d shards: %w", lockName, threads, shards, err)
 	}
 	return res.Throughput(), nil
+}
+
+// measureRW runs one RW-table cell: the -reads fraction against a
+// fresh store whose Gets run shared or exclusive.
+func measureRW(opt options, topo *numa.Topology, e registry.Entry, threads, shards int, shared bool) (float64, error) {
+	store := newStoreRW(opt, topo, e, shards, shared)
+	kvload.PopulateClusters(store, topo, opt.keyspace, 128)
+	runtime.GC() // population litters the heap; keep GC out of the window
+	cfg := kvload.DefaultConfig(topo, threads, int(opt.reads*100))
+	cfg.Duration = opt.duration
+	cfg.Keyspace = opt.keyspace
+	cfg.Affinity = opt.affinity
+	cfg.ReadFraction = opt.reads
+	res, err := kvload.Run(cfg, store)
+	if err != nil {
+		return 0, fmt.Errorf("%s @%d x%d shards (reads=%g): %w", e.Name, threads, shards, opt.reads, err)
+	}
+	return res.Throughput(), nil
+}
+
+// runRW emits the reader-writer read-path tables: per shard count, one
+// column pair per lock — shared-mode Gets vs the same construction
+// driven exclusively (`<name>/x`) — at the -reads fraction, normalized
+// like Table 1 to pthread at one thread on one shard.
+func runRW(opt options, topo *numa.Topology) ([]record, error) {
+	base, err := measureRW(opt, topo, registry.MustLookup("pthread"), 1, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "reads=%g: pthread@1 baseline %.0f ops/s\n", opt.reads, base)
+
+	type column struct {
+		name   string
+		entry  registry.Entry
+		shared bool
+	}
+	var cols []column
+	for _, name := range opt.locks {
+		e, err := registry.Find(name)
+		if err != nil {
+			return nil, err
+		}
+		if e.NewMutex == nil && e.NewRW == nil {
+			return nil, fmt.Errorf("lock %q is abortable-only and cannot guard the store", name)
+		}
+		if e.NewRW != nil {
+			cols = append(cols, column{e.Name, e, true})
+		}
+		cols = append(cols, column{e.Name + "/x", e, false})
+	}
+
+	var records []record
+	for _, shards := range opt.shards {
+		title := fmt.Sprintf("RW read path (%.4g%% gets): speedup over pthread@1", opt.reads*100)
+		if shards > 1 {
+			title = fmt.Sprintf("%s [%d shards, %s placement]", title, shards, opt.placement)
+		}
+		headers := []string{"threads"}
+		for _, c := range cols {
+			headers = append(headers, c.name)
+		}
+		tb := stats.NewTable(title, headers...)
+		for _, n := range opt.threads {
+			row := []string{fmt.Sprint(n)}
+			for _, c := range cols {
+				tp, err := measureRW(opt, topo, c.entry, n, shards, c.shared)
+				if err != nil {
+					return nil, err
+				}
+				placement, affinity := opt.placement.String(), opt.affinity
+				if shards <= 1 {
+					placement, affinity = "single", 0
+				}
+				path := "exclusive"
+				if c.shared {
+					path = "shared"
+				}
+				records = append(records, record{
+					Mix: int(opt.reads*100 + 0.5), Lock: c.entry.Name, Threads: n, Shards: shards,
+					Placement: placement, Affinity: affinity,
+					OpsPerSec: tp, Speedup: stats.Speedup(base, tp),
+					Reads: opt.reads, ReadPath: path,
+				})
+				row = append(row, stats.F(stats.Speedup(base, tp), 2))
+				fmt.Fprintf(os.Stderr, "ran reads=%g %-14s threads=%-4d shards=%-3d %.0f ops/s\n",
+					opt.reads, c.name, n, shards, tp)
+			}
+			tb.AddRow(row...)
+		}
+		if !opt.jsonOut {
+			fmt.Print(cli.Emit(tb, opt.csv))
+			fmt.Println()
+		}
+	}
+	return records, nil
 }
 
 func runMix(opt options, topo *numa.Topology, getPct int) ([]record, error) {

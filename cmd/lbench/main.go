@@ -10,9 +10,15 @@
 // plus the hand-off bound ablation discussed in §4.1.1
 // (-ablation handoff). "-fig all" runs everything. Figures 2/3/4/5 and
 // the batching table come from one shared sweep per invocation.
+//
+// -json replaces the tables with one JSON record per measured
+// (lock, threads) point — the same record-array shape kvbench emits,
+// so both CLIs feed the same trajectory tooling (CI uploads kvbench's
+// as a build artifact; lbench's slots into the same pipeline).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +43,21 @@ type options struct {
 	duration time.Duration
 	patience time.Duration
 	csv      bool
+	jsonOut  bool
+}
+
+// record is one measured (lock, threads) point, emitted under -json.
+// Every figure's metric is a projection of the same sweep, so one
+// record carries them all.
+type record struct {
+	Kind              string  `json:"kind"` // "blocking" or "abortable"
+	Lock              string  `json:"lock"`
+	Threads           int     `json:"threads"`
+	PairsPerSec       float64 `json:"pairs_per_sec"`
+	MissesPerCS       float64 `json:"misses_per_cs"`
+	FairnessStdDevPct float64 `json:"fairness_stddev_pct"`
+	AvgBatch          float64 `json:"avg_batch"`
+	AbortPct          float64 `json:"abort_pct,omitempty"`
 }
 
 func main() {
@@ -49,6 +70,7 @@ func main() {
 		durationFlag = flag.Duration("duration", 300*time.Millisecond, "measurement window per point (paper: 60s)")
 		patienceFlag = flag.Duration("patience", lbench.DefaultPatience, "acquisition patience for Figure 6")
 		csvFlag      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonFlag     = flag.Bool("json", false, "emit every measured point as JSON records instead of tables")
 	)
 	flag.Parse()
 
@@ -66,6 +88,7 @@ func main() {
 		duration: *durationFlag,
 		patience: *patienceFlag,
 		csv:      *csvFlag,
+		jsonOut:  *jsonFlag,
 	}
 	if err := run(opt); err != nil {
 		fmt.Fprintf(os.Stderr, "lbench: %v\n", err)
@@ -92,6 +115,7 @@ func run(opt options) error {
 	wantBlocking := strings.ContainsAny(opt.fig, "2345b") || opt.fig == "all" || opt.fig == "batch"
 	wantAbortable := opt.fig == "6" || opt.fig == "all"
 
+	var records []record
 	if wantBlocking {
 		names := opt.locks
 		if len(names) == 0 {
@@ -101,7 +125,11 @@ func run(opt options) error {
 		if err != nil {
 			return err
 		}
-		emitBlocking(opt, names, results)
+		if opt.jsonOut {
+			records = append(records, collectRecords("blocking", opt, names, results)...)
+		} else {
+			emitBlocking(opt, names, results)
+		}
 	}
 	if wantAbortable {
 		names := opt.locks
@@ -112,9 +140,40 @@ func run(opt options) error {
 		if err != nil {
 			return err
 		}
-		emitFigure6(opt, names, results)
+		if opt.jsonOut {
+			records = append(records, collectRecords("abortable", opt, names, results)...)
+		} else {
+			emitFigure6(opt, names, results)
+		}
+	}
+	if opt.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(records)
 	}
 	return nil
+}
+
+// collectRecords flattens a sweep into JSON records, one per measured
+// point, in lock-then-threads order.
+func collectRecords(kind string, opt options, names []string, results map[string][]lbench.Result) []record {
+	var out []record
+	for _, name := range names {
+		for i, n := range opt.threads {
+			res := results[name][i]
+			out = append(out, record{
+				Kind:              kind,
+				Lock:              name,
+				Threads:           n,
+				PairsPerSec:       res.Throughput(),
+				MissesPerCS:       res.MissesPerCS(),
+				FairnessStdDevPct: res.FairnessStdDevPct(),
+				AvgBatch:          res.AvgBatch(),
+				AbortPct:          100 * res.AbortRate(),
+			})
+		}
+	}
+	return out
 }
 
 // sweepBlocking runs every (lock, threads) point once; Figures 2-5 and

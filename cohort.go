@@ -4,11 +4,14 @@
 // presents: C-BO-BO, C-TKT-TKT, C-BO-MCS, C-TKT-MCS, C-MCS-MCS and the
 // abortable A-C-BO-BO and A-C-BO-CLH.
 //
-// Beyond the paper it carries two extensions from the same design
+// Beyond the paper it carries three extensions from the same design
 // lineage: the compact NUMA-aware lock (NewCNA), which gets cohort-
-// style locality out of a single queue, and generic concurrency
+// style locality out of a single queue; generic concurrency
 // restriction (NewRestricted), which wraps any lock with per-cluster
-// admission control so saturation cannot collapse throughput.
+// admission control so saturation cannot collapse throughput; and
+// reader-writer cohorting (NewRWCohort, NewRWPerCluster) — the
+// authors' PPoPP'13 follow-up — which adds per-cluster reader counters
+// over any writer lock so read-mostly workloads scale across clusters.
 //
 // # Model
 //
@@ -183,6 +186,11 @@ func NewCBOCLH(topo *Topology, opts ...Option) *CohortLock {
 	return core.NewCBOCLH(topo, opts...)
 }
 
+// RWLock is a reader-writer lock operating on Proc handles: Lock and
+// Unlock take exclusive mode, RLock and RUnlock take shared mode (any
+// number of concurrent readers).
+type RWLock = locks.RWMutex
+
 // RWCohortLock is a NUMA-aware reader-writer lock whose writers
 // serialize through a cohort lock and whose readers use per-cluster
 // counters; see internal/core for the protocol.
@@ -192,6 +200,29 @@ type RWCohortLock = core.RWCohortLock
 func NewRWCBOMCS(topo *Topology, opts ...Option) *RWCohortLock {
 	return core.NewRWCBOMCS(topo, opts...)
 }
+
+// NewRWCohort wraps any fresh cohort lock into a reader-writer cohort
+// lock: per-cluster reader counters over cohort-ordered writers.
+func NewRWCohort(topo *Topology, writers *CohortLock) *RWCohortLock {
+	return core.NewRWCohort(topo, writers)
+}
+
+// RWPerClusterLock is the generic reader-writer construction: padded
+// per-cluster reader counters over an arbitrary writer lock, so
+// readers on different clusters never exchange cache lines.
+type RWPerClusterLock = locks.RWPerCluster
+
+// NewRWPerCluster builds the reader-writer construction over any
+// writer lock (a cohort lock, a CNA lock, a plain MCS — the writer
+// medium is pluggable). The writer lock must be fresh.
+func NewRWPerCluster(topo *Topology, writers Lock) *RWPerClusterLock {
+	return locks.NewRWPerCluster(topo, writers)
+}
+
+// RWFromLock adapts any Lock to the RWLock interface by taking shared
+// mode exclusively — correct, just not concurrent — so exclusive locks
+// slot into reader-writer-shaped code unchanged.
+func RWFromLock(m Lock) RWLock { return locks.RWFromMutex(m) }
 
 // NewACBOBO returns the paper's abortable A-C-BO-BO lock (§3.6.1).
 func NewACBOBO(topo *Topology, opts ...Option) *AbortableCohortLock {
@@ -252,4 +283,6 @@ var (
 	_ TryLock = (*AbortableCohortLock)(nil)
 	_ Lock    = (*CNALock)(nil)
 	_ Lock    = (*RestrictedLock)(nil)
+	_ RWLock  = (*RWCohortLock)(nil)
+	_ RWLock  = (*RWPerClusterLock)(nil)
 )

@@ -1,10 +1,8 @@
 package core
 
 import (
-	"sync/atomic"
-
+	"repro/internal/locks"
 	"repro/internal/numa"
-	"repro/internal/spin"
 )
 
 // RWCohortLock is a NUMA-aware reader-writer lock built on the
@@ -15,37 +13,18 @@ import (
 // only touch a per-cluster reader counter, so concurrent readers on
 // different clusters never exchange cache lines.
 //
-// The protocol is writer-preference with reader back-off:
-//
-//   - A reader increments its cluster's counter, then checks the
-//     writer flag. If a writer is active, it backs out, waits for the
-//     flag to clear, and retries — so arriving readers cannot starve a
-//     writer that has already claimed the lock.
-//   - A writer acquires the internal cohort lock (mutual exclusion
-//     among writers, cohort hand-offs included), raises the writer
-//     flag, and waits for every cluster's reader count to drain.
-//
-// The flag is raised only while holding the cohort lock, so at most
-// one writer toggles it at a time.
+// The reader-counter protocol itself is generic over the writer
+// medium and lives in locks.RWPerCluster (writer-preference with
+// reader back-off; see that type for the exact rules). RWCohortLock is
+// that construction specialized to a cohort writer lock.
 type RWCohortLock struct {
-	writers *CohortLock
-	wflag   atomic.Int32
-	_       numa.Pad
-	readers []readerSlot
-}
-
-type readerSlot struct {
-	n atomic.Int64
-	_ numa.Pad
+	*locks.RWPerCluster
 }
 
 // NewRWCohort wraps a cohort lock into a reader-writer cohort lock.
 // The cohort lock must be fresh (not shared with other users).
 func NewRWCohort(topo *numa.Topology, writers *CohortLock) *RWCohortLock {
-	return &RWCohortLock{
-		writers: writers,
-		readers: make([]readerSlot, topo.Clusters()),
-	}
+	return &RWCohortLock{RWPerCluster: locks.NewRWPerCluster(topo, writers)}
 }
 
 // NewRWCBOMCS is the default reader-writer construction: writers go
@@ -54,52 +33,5 @@ func NewRWCBOMCS(topo *numa.Topology, opts ...Option) *RWCohortLock {
 	return NewRWCohort(topo, NewCBOMCS(topo, opts...))
 }
 
-// RLock acquires the lock in shared mode.
-func (l *RWCohortLock) RLock(p *numa.Proc) {
-	slot := &l.readers[p.Cluster()]
-	for {
-		slot.n.Add(1)
-		if l.wflag.Load() == 0 {
-			return // no writer: read section is open
-		}
-		// A writer is active or draining readers: back out and wait.
-		slot.n.Add(-1)
-		for i := 0; l.wflag.Load() != 0; i++ {
-			spin.Poll(i)
-		}
-	}
-}
-
-// RUnlock releases shared mode.
-func (l *RWCohortLock) RUnlock(p *numa.Proc) {
-	l.readers[p.Cluster()].n.Add(-1)
-}
-
-// Lock acquires the lock in exclusive mode.
-func (l *RWCohortLock) Lock(p *numa.Proc) {
-	l.writers.Lock(p)
-	l.wflag.Store(1)
-	// Wait for in-flight readers, cluster by cluster. New readers see
-	// the flag and back out.
-	for c := range l.readers {
-		for i := 0; l.readers[c].n.Load() != 0; i++ {
-			spin.Poll(i)
-		}
-	}
-}
-
-// Unlock releases exclusive mode.
-func (l *RWCohortLock) Unlock(p *numa.Proc) {
-	l.wflag.Store(0)
-	l.writers.Unlock(p)
-}
-
-// ActiveReaders reports the current reader count (racy; diagnostics
-// and tests only).
-func (l *RWCohortLock) ActiveReaders() int64 {
-	var n int64
-	for c := range l.readers {
-		n += l.readers[c].n.Load()
-	}
-	return n
-}
+// Interface conformance check: the cohort RW lock is a full RWMutex.
+var _ locks.RWMutex = (*RWCohortLock)(nil)

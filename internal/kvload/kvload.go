@@ -27,6 +27,11 @@ type Config struct {
 	Duration time.Duration
 	// GetPct is the percentage of get operations (paper: 90/50/10).
 	GetPct int
+	// ReadFraction, when positive, overrides GetPct with per-mille
+	// precision — the read-mostly knob (0.9, 0.99, 0.999) the
+	// reader-writer store path needs, since whole percentages cannot
+	// express a 99.9% read mix. Zero keeps the GetPct path bit-exact.
+	ReadFraction float64
 	// Keyspace is the number of distinct keys (pre-populated).
 	Keyspace uint64
 	// ValueSize is the value payload in bytes.
@@ -72,6 +77,9 @@ func (c *Config) validate() error {
 	}
 	if c.GetPct < 0 || c.GetPct > 100 {
 		return fmt.Errorf("kvload: get percentage %d outside [0,100]", c.GetPct)
+	}
+	if !(c.ReadFraction >= 0 && c.ReadFraction <= 1) { // inverted to reject NaN
+		return fmt.Errorf("kvload: read fraction %v outside [0,1]", c.ReadFraction)
 	}
 	if c.Keyspace == 0 {
 		return fmt.Errorf("kvload: empty keyspace")
@@ -156,6 +164,12 @@ func Run(cfg Config, store *kvstore.Store) (Result, error) {
 	}
 	spin.Calibrate()
 	spin.AutoOversubscribe(cfg.Threads)
+	// getMille < 0 selects the original whole-percent draw, keeping
+	// GetPct-configured runs identical to the pre-ReadFraction loop.
+	getMille := int64(-1)
+	if cfg.ReadFraction > 0 {
+		getMille = int64(cfg.ReadFraction*1000 + 0.5)
+	}
 	affinityMille := int64(cfg.Affinity * 1000)
 	if store.NumShards() == 1 {
 		// Affinity is a documented no-op on single-shard stores; skip
@@ -208,7 +222,13 @@ func Run(cfg Config, store *kvstore.Store) (Result, error) {
 						sl.local++
 					}
 				}
-				if int(p.RandN(100)) < cfg.GetPct {
+				var isGet bool
+				if getMille >= 0 {
+					isGet = p.RandN(1000) < getMille
+				} else {
+					isGet = int(p.RandN(100)) < cfg.GetPct
+				}
+				if isGet {
 					n, ok := store.Get(p, key, dst)
 					if ok {
 						// Response assembly: checksum the payload.

@@ -151,6 +151,51 @@ func shardedStore(topo *numa.Topology, shards int, placement kvstore.Placement) 
 	})
 }
 
+func TestReadFractionValidationAndMix(t *testing.T) {
+	topo := numa.New(4, 8)
+	s := fastStore(topo)
+	for _, bad := range []float64{-0.1, 1.5} {
+		cfg := fastCfg(topo, 4, 50)
+		cfg.ReadFraction = bad
+		if _, err := Run(cfg, s); err == nil {
+			t.Errorf("read fraction %v accepted", bad)
+		}
+	}
+	// ReadFraction overrides GetPct: at 0.99 reads over a GetPct of 0,
+	// gets must dominate sets by far more than any whole-percent mix
+	// the GetPct field could have produced by accident.
+	Populate(s, topo.Proc(0), 1000, 32)
+	cfg := fastCfg(topo, 8, 0)
+	cfg.ReadFraction = 0.99
+	res, err := Run(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gets == 0 {
+		t.Fatal("ReadFraction=0.99 produced no gets")
+	}
+	if res.Sets*20 > res.Ops {
+		t.Fatalf("mix off: %d sets of %d ops at 99%% reads", res.Sets, res.Ops)
+	}
+	// A genuine RW store under a read-mostly fraction: the shared read
+	// path and the load generator compose end-to-end.
+	rw := kvstore.New(kvstore.Config{
+		Topo:    topo,
+		RWLock:  locks.NewRWPerCluster(topo, locks.NewMCS(topo)),
+		Buckets: 1 << 10, Capacity: 1 << 14,
+		Cache:       cachesim.Config{LocalNs: 1, RemoteNs: 1},
+		ItemLocalNs: 1, ItemRemoteNs: 1,
+	})
+	Populate(rw, topo.Proc(0), 1000, 32)
+	res, err = Run(cfg, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Store.Hits == 0 {
+		t.Fatal("RW store made no progress under read-mostly load")
+	}
+}
+
 func TestAffinityValidation(t *testing.T) {
 	topo := numa.New(4, 8)
 	s := fastStore(topo)

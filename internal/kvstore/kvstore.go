@@ -31,6 +31,17 @@
 //
 // A single-shard Store routes every key to its one shard and behaves
 // exactly like the pre-sharding store.
+//
+// The cache lock itself is reader-writer shaped (locks.RWMutex): Sets
+// and Deletes take exclusive mode, and when the configured lock's
+// shared mode genuinely admits concurrent readers (an rw-* registry
+// lock), Gets run in shared mode — the read-mostly scaling lever the
+// cohort papers' reader-writer follow-up adds on top of cohorting. The
+// LRU bump a hit normally pays moves under a bounded
+// touch-every-Nth-hit policy (Config.TouchEvery) so the common-case
+// Get mutates nothing. Exclusive locks slot in through
+// locks.RWFromMutex and keep the original every-hit-bumps read path
+// unchanged.
 package kvstore
 
 import (
@@ -83,12 +94,32 @@ type Config struct {
 	Topo *numa.Topology
 	// Lock is the cache lock guarding a single-shard store (the
 	// paper's interposition point). Multi-shard stores need one lock
-	// per shard and must use NewLock instead.
+	// per shard and must use NewLock instead. Exclusive locks are
+	// adapted to the store's reader-writer interface via
+	// locks.RWFromMutex, which keeps the pre-RW Get path byte for byte.
 	Lock locks.Mutex
 	// NewLock builds one lock instance per shard; registry entries
 	// provide such factories via Entry.MutexFactory. When set it takes
 	// precedence over Lock.
 	NewLock func() locks.Mutex
+	// RWLock is a reader-writer cache lock for a single-shard store.
+	// When its shared mode genuinely admits concurrent readers
+	// (locks.SharesReads), Gets run in shared mode with the bounded
+	// LRU-touch policy (see TouchEvery); Sets and Deletes always take
+	// exclusive mode. Takes precedence over Lock.
+	RWLock locks.RWMutex
+	// NewRWLock builds one reader-writer lock per shard; registry
+	// entries provide such factories via Entry.RWFactory. Highest
+	// precedence of the four lock fields.
+	NewRWLock func() locks.RWMutex
+	// TouchEvery is the shared read path's LRU sampling stride: each
+	// proc refreshes an item's LRU position (under a brief exclusive
+	// acquire) only on its TouchEvery-th hit, keeping the common-case
+	// Get free of any store mutation. 1 bumps on every hit (maximum
+	// recency fidelity, maximum writer traffic); larger values trade
+	// recency precision for read-side scalability. Default 8. Ignored
+	// on exclusive read paths, which bump on every hit as before.
+	TouchEvery int
 	// Shards is the shard count. Default 1.
 	Shards int
 	// Placement picks the shard homing/routing policy.
@@ -113,13 +144,16 @@ func (c *Config) setDefaults() error {
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
-	if c.NewLock == nil {
-		if c.Lock == nil {
+	if c.NewRWLock == nil && c.NewLock == nil {
+		if c.RWLock == nil && c.Lock == nil {
 			return fmt.Errorf("kvstore: nil lock")
 		}
 		if c.Shards > 1 {
-			return fmt.Errorf("kvstore: %d shards need a NewLock factory, not a single pre-built lock", c.Shards)
+			return fmt.Errorf("kvstore: %d shards need a NewLock/NewRWLock factory, not a single pre-built lock", c.Shards)
 		}
+	}
+	if c.TouchEvery <= 0 {
+		c.TouchEvery = DefaultTouchEvery
 	}
 	if c.Buckets <= 0 {
 		c.Buckets = 1 << 15
@@ -136,6 +170,10 @@ func (c *Config) setDefaults() error {
 	}
 	return nil
 }
+
+// DefaultTouchEvery is the default LRU sampling stride of the shared
+// read path: one in eight hits per proc refreshes the item's recency.
+const DefaultTouchEvery = 8
 
 // Stats is an aggregated view of store activity.
 type Stats struct {
@@ -170,10 +208,22 @@ func New(cfg Config) *Store {
 	if err := cfg.setDefaults(); err != nil {
 		panic(err)
 	}
-	newLock := cfg.NewLock
-	if newLock == nil {
+	// Resolve the four lock fields into one RW factory, highest
+	// precedence first; exclusive sources pass through RWFromMutex so
+	// their shards keep the exclusive read path.
+	var newLock func() locks.RWMutex
+	switch {
+	case cfg.NewRWLock != nil:
+		newLock = cfg.NewRWLock
+	case cfg.NewLock != nil:
+		f := cfg.NewLock
+		newLock = func() locks.RWMutex { return locks.RWFromMutex(f()) }
+	case cfg.RWLock != nil:
+		rw := cfg.RWLock
+		newLock = func() locks.RWMutex { return rw }
+	default:
 		lock := cfg.Lock
-		newLock = func() locks.Mutex { return lock }
+		newLock = func() locks.RWMutex { return locks.RWFromMutex(lock) }
 	}
 	perBuckets := ceilDiv(cfg.Buckets, cfg.Shards)
 	// Round up to a power of two for mask indexing.
@@ -195,6 +245,7 @@ func New(cfg Config) *Store {
 		s.shards[i] = newShard(shardConfig{
 			topo:       cfg.Topo,
 			lock:       newLock(),
+			touchEvery: uint64(cfg.TouchEvery),
 			buckets:    perBuckets,
 			capacity:   perCapacity,
 			cache:      cfg.Cache,

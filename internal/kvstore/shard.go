@@ -30,20 +30,27 @@ type item struct {
 }
 
 // opSlot is per-proc statistics; each proc writes only its own slot.
+// Shared-mode Gets rely on exactly this layout: every counter is
+// written only by its owning proc, outside the lock, so concurrent
+// readers never contend on statistics.
 type opSlot struct {
 	gets      uint64
 	sets      uint64
 	hits      uint64
 	misses    uint64
 	evictions uint64
-	_         numa.Pad
+	// sinceTouch counts this proc's hits since it last refreshed an
+	// item's LRU position (shared read path only; see Shard.Get).
+	sinceTouch uint64
+	_          numa.Pad
 }
 
 // shardConfig carries the per-shard slice of a Store's Config, already
 // validated and normalized (buckets a power of two, capacity >= 1).
 type shardConfig struct {
 	topo       *numa.Topology
-	lock       locks.Mutex
+	lock       locks.RWMutex
+	touchEvery uint64
 	buckets    int
 	capacity   int
 	cache      cachesim.Config
@@ -57,7 +64,13 @@ type shardConfig struct {
 // structure of the paper's Table 1 experiment; the pre-sharding store
 // was a single Shard behind one cache lock.
 type Shard struct {
-	lock                  locks.Mutex
+	lock locks.RWMutex
+	// sharedReads is true when lock's shared mode genuinely admits
+	// concurrent readers; Get then runs the shared read path. False for
+	// exclusive locks adapted via locks.RWFromMutex, whose Gets keep
+	// the pre-RW exclusive path byte for byte.
+	sharedReads           bool
+	touchEvery            uint64
 	mask                  uint64
 	buckets               []*item
 	head                  *item // MRU
@@ -72,14 +85,16 @@ type Shard struct {
 
 func newShard(cfg shardConfig) *Shard {
 	return &Shard{
-		lock:       cfg.lock,
-		mask:       uint64(cfg.buckets - 1),
-		buckets:    make([]*item, cfg.buckets),
-		capacity:   cfg.capacity,
-		domain:     cachesim.NewDomain(cfg.topo, numLines, cfg.cache),
-		slots:      make([]opSlot, cfg.topo.MaxProcs()),
-		itemLocal:  cfg.itemLocal,
-		itemRemote: cfg.itemRemote,
+		lock:        cfg.lock,
+		sharedReads: locks.SharesReads(cfg.lock),
+		touchEvery:  cfg.touchEvery,
+		mask:        uint64(cfg.buckets - 1),
+		buckets:     make([]*item, cfg.buckets),
+		capacity:    cfg.capacity,
+		domain:      cachesim.NewDomain(cfg.topo, numLines, cfg.cache),
+		slots:       make([]opSlot, cfg.topo.MaxProcs()),
+		itemLocal:   cfg.itemLocal,
+		itemRemote:  cfg.itemRemote,
 	}
 }
 
@@ -167,8 +182,58 @@ func (s *Shard) unlink(it *item) {
 
 // Get looks up key, copying the value into dst (truncating if dst is
 // short). It returns the copied length and whether the key was found.
-// A hit bumps the item to the MRU position, as memcached does.
+//
+// Under an exclusive cache lock a hit bumps the item to the MRU
+// position on every Get, as memcached does. Under a genuine
+// reader-writer lock Get runs in shared mode — concurrent readers on
+// different clusters proceed together, touching nothing but their own
+// cluster's reader counter and their own statistics slot — and the LRU
+// bump follows a bounded touch-every-Nth-hit policy: each proc
+// refreshes an item's recency only on every touchEvery-th hit,
+// upgrading to exclusive mode just for that bump. Recency becomes
+// approximate (a uniformly sampled subset of hits drives the LRU
+// order, the same trade memcached makes with its 60-second touch
+// rule); hit/miss behavior and returned values are unaffected.
 func (s *Shard) Get(p *numa.Proc, key uint64, dst []byte) (int, bool) {
+	if !s.sharedReads {
+		return s.getExclusive(p, key, dst)
+	}
+	slot := &s.slots[p.ID()]
+	s.lock.RLock(p)
+	// The hash-bucket walk and value copy only read item state; writers
+	// (Set/Delete and the LRU bump below) hold exclusive mode, so no
+	// mutation can overlap shared mode.
+	it := s.find(key)
+	if it == nil {
+		s.lock.RUnlock(p)
+		slot.gets++
+		slot.misses++
+		return 0, false
+	}
+	n := copy(dst, it.value)
+	s.lock.RUnlock(p)
+	slot.gets++
+	slot.hits++
+	slot.sinceTouch++
+	if slot.sinceTouch >= s.touchEvery {
+		slot.sinceTouch = 0
+		// Re-find under exclusive mode: the item may have been evicted
+		// or deleted between the shared read and this upgrade.
+		s.lock.Lock(p)
+		if it := s.find(key); it != nil {
+			s.touchItem(p, it)
+			s.lruFront(it)
+		}
+		s.lock.Unlock(p)
+	}
+	return n, true
+}
+
+// getExclusive is the pre-RW read path, taken verbatim whenever the
+// shard's lock serializes readers: every hit pays the item touch and
+// LRU bump under the exclusive cache lock, so single-shard exclusive
+// configurations reproduce the paper's Table 1 behavior unchanged.
+func (s *Shard) getExclusive(p *numa.Proc, key uint64, dst []byte) (int, bool) {
 	slot := &s.slots[p.ID()]
 	s.lock.Lock(p)
 	// The hash-bucket walk is read-only: read-shared lines replicate

@@ -179,6 +179,119 @@ func CheckFairness(t *testing.T, topo *numa.Topology, m locks.Mutex, procs, iter
 	}
 }
 
+// CheckRW stress-tests a reader-writer lock. Three properties, all
+// deadline-guarded like the other harnesses:
+//
+//   - Writer exclusion: writers hold exclusive mode alone (checked via
+//     the same torn-counter shared state as CheckMutex).
+//   - Snapshot consistency: readers under shared mode always observe
+//     the two counters equal — a writer's mutation is never visible
+//     half-done. The counters are deliberately non-atomic, so any
+//     reader/writer overlap is also a data race under -race.
+//   - Reader concurrency: when the lock genuinely shares reads
+//     (locks.SharesReads), one reader per cluster must be able to hold
+//     shared mode simultaneously — concurrent readers on distinct
+//     clusters make progress instead of serializing. Exclusive
+//     adapters (RWFromMutex) skip this phase; serializing readers is
+//     their documented behavior.
+//
+// readers and writers are goroutine counts; procs are assigned
+// readers-first so readers land on distinct clusters.
+func CheckRW(t *testing.T, topo *numa.Topology, l locks.RWMutex, readers, writers, iters int) {
+	t.Helper()
+	if readers+writers > topo.MaxProcs() {
+		t.Fatalf("locktest: %d workers exceeds topology max %d", readers+writers, topo.MaxProcs())
+	}
+	spin.AutoOversubscribe(readers + writers)
+
+	// Phase 1: reader concurrency. One reader per cluster enters shared
+	// mode and waits until every cluster's reader is inside; a lock
+	// that serializes readers wedges here and fails on the deadline.
+	if locks.SharesReads(l) {
+		want := topo.Clusters()
+		if want > readers {
+			want = readers
+		}
+		if want > 1 {
+			var inside atomic.Int32
+			var stuck atomic.Int32
+			var cwg sync.WaitGroup
+			deadline := time.Now().Add(harnessDeadline)
+			for c := 0; c < want; c++ {
+				// Proc c is on cluster c under round-robin placement.
+				cwg.Add(1)
+				go func(id int) {
+					defer cwg.Done()
+					p := topo.Proc(id)
+					l.RLock(p)
+					inside.Add(1)
+					for i := 0; inside.Load() < int32(want); i++ {
+						if time.Now().After(deadline) {
+							stuck.Add(1)
+							break
+						}
+						spin.Poll(i)
+					}
+					l.RUnlock(p)
+				}(c)
+			}
+			awaitWorkers(t, &cwg, "readers never finished the coexistence rendezvous")
+			if stuck.Load() != 0 {
+				t.Fatalf("readers on %d clusters could not hold shared mode together", want)
+			}
+		}
+	}
+
+	// Phase 2: writer exclusion and snapshot consistency under churn.
+	// Writers mutate the counter pair under exclusive mode; readers
+	// under shared mode must always see it consistent.
+	var s shared
+	var torn atomic.Int64
+	var writersDone atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer writersDone.Add(1)
+			p := topo.Proc(readers + id)
+			for k := 0; k < iters; k++ {
+				l.Lock(p)
+				s.enter()
+				l.Unlock(p)
+			}
+		}(i)
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := topo.Proc(id)
+			// Read until every writer retires its quota, with a floor of
+			// iters sections so readers exercise the lock even if the
+			// writers finish first.
+			for k := 0; k < iters || writersDone.Load() < int32(writers); k++ {
+				l.RLock(p)
+				if s.a != s.b {
+					torn.Add(1)
+				}
+				l.RUnlock(p)
+			}
+		}(i)
+	}
+	awaitWorkers(t, &wg, "rw workers never finished: deadlock, lost wakeup or reader starvation")
+	if v := s.violations.Load(); v != 0 {
+		t.Fatalf("writer exclusion violated %d times", v)
+	}
+	if v := torn.Load(); v != 0 {
+		t.Fatalf("readers observed %d torn snapshots", v)
+	}
+	want := int64(writers * iters)
+	if s.a != want || s.b != want {
+		t.Fatalf("lost updates: counters (%d,%d), want %d", s.a, s.b, want)
+	}
+}
+
 // CheckHandoff verifies a lock hands over between two specific procs
 // repeatedly without losing progress: proc 0 and proc 1 alternate via
 // the lock, each completing iters sections within the deadline.

@@ -82,6 +82,55 @@ func TestFactoryNilForMissingInterface(t *testing.T) {
 	}
 }
 
+func TestRWFactoriesRepeatable(t *testing.T) {
+	// The RW kvstore path builds one RW lock per shard; instances must
+	// be distinct and independent, native and adapted alike.
+	topo := numa.New(4, 4)
+	for _, e := range Blocking() {
+		f := e.RWFactory(topo)
+		if f == nil {
+			t.Errorf("%s: blocking entry has nil RWFactory", e.Name)
+			continue
+		}
+		a, b := f(), f()
+		if a == b {
+			t.Errorf("%s: RW factory returned the same instance twice", e.Name)
+			continue
+		}
+		p := topo.Proc(0)
+		a.Lock(p)
+		b.RLock(p) // would deadlock if a and b shared state
+		b.RUnlock(p)
+		a.Unlock(p)
+	}
+}
+
+func TestBuildRWMutexes(t *testing.T) {
+	topo := numa.New(4, 4)
+	for _, name := range []string{"rw-cna", "mcs"} { // native and adapted
+		ms := MustLookup(name).BuildRWMutexes(topo, 4)
+		if len(ms) != 4 {
+			t.Fatalf("%s: BuildRWMutexes returned %d locks, want 4", name, len(ms))
+		}
+		for i, m := range ms {
+			if m == nil {
+				t.Fatalf("%s: instance %d is nil", name, i)
+			}
+			for j := i + 1; j < len(ms); j++ {
+				if m == ms[j] {
+					t.Fatalf("%s: instances %d and %d are the same lock", name, i, j)
+				}
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BuildRWMutexes on a try-only entry did not panic")
+		}
+	}()
+	MustLookup("a-clh").BuildRWMutexes(topo, 1)
+}
+
 func TestBuildMutexes(t *testing.T) {
 	topo := numa.New(4, 4)
 	e := MustLookup("c-bo-mcs")

@@ -23,6 +23,10 @@ type Entry struct {
 	NewMutex func(topo *numa.Topology) locks.Mutex
 	// NewTry builds an abortable instance; nil for non-abortable locks.
 	NewTry func(topo *numa.Topology) locks.TryMutex
+	// NewRW builds a genuine reader-writer instance (shared mode admits
+	// concurrent readers); nil for exclusive-only locks. Exclusive
+	// entries still adapt to the RW interface through RWFactory.
+	NewRW func(topo *numa.Topology) locks.RWMutex
 	// Cohort marks the paper's contributed locks.
 	Cohort bool
 	// Extension marks locks beyond the paper's evaluation set (enabled
@@ -103,6 +107,26 @@ var entries = []Entry{
 		NewMutex: func(t *numa.Topology) locks.Mutex { return core.NewRestricted(t, core.NewCBOMCS(t), 0) },
 	},
 	{
+		Name: "rw-c-bo-mcs", Desc: "reader-writer cohort lock: per-cluster readers over C-BO-MCS writers", Cohort: true, Extension: true,
+		NewMutex: func(t *numa.Topology) locks.Mutex { return core.NewRWCBOMCS(t) },
+		NewRW:    func(t *numa.Topology) locks.RWMutex { return core.NewRWCBOMCS(t) },
+	},
+	{
+		Name: "rw-c-tkt-tkt", Desc: "reader-writer cohort lock: per-cluster readers over C-TKT-TKT writers", Cohort: true, Extension: true,
+		NewMutex: func(t *numa.Topology) locks.Mutex { return core.NewRWCohort(t, core.NewCTKTTKT(t)) },
+		NewRW:    func(t *numa.Topology) locks.RWMutex { return core.NewRWCohort(t, core.NewCTKTTKT(t)) },
+	},
+	{
+		Name: "rw-cna", Desc: "reader-writer lock: per-cluster readers over a CNA writer queue", Extension: true,
+		NewMutex: func(t *numa.Topology) locks.Mutex { return locks.NewRWPerCluster(t, locks.NewCNA(t)) },
+		NewRW:    func(t *numa.Topology) locks.RWMutex { return locks.NewRWPerCluster(t, locks.NewCNA(t)) },
+	},
+	{
+		Name: "rw-mcs", Desc: "reader-writer lock: per-cluster readers over a plain MCS writer queue", Extension: true,
+		NewMutex: func(t *numa.Topology) locks.Mutex { return locks.NewRWPerCluster(t, locks.NewMCS(t)) },
+		NewRW:    func(t *numa.Topology) locks.RWMutex { return locks.NewRWPerCluster(t, locks.NewMCS(t)) },
+	},
+	{
 		Name: "a-clh", Desc: "abortable CLH lock (Scott), abortable baseline",
 		NewTry: func(t *numa.Topology) locks.TryMutex { return locks.NewACLH(t) },
 	},
@@ -141,6 +165,23 @@ func (e Entry) TryFactory(topo *numa.Topology) func() locks.TryMutex {
 	return func() locks.TryMutex { return e.NewTry(topo) }
 }
 
+// RWFactory returns a factory building independent reader-writer
+// instances of this lock for topo, or nil if the entry cannot lock at
+// all. Entries with a native RW construction (NewRW) yield genuinely
+// shared readers; exclusive-only entries are adapted through
+// locks.RWFromMutex, so every blocking lock in the registry slots into
+// an RW-shaped consumer (the kvstore) and keeps its exact exclusive
+// behavior (locks.SharesReads reports which case was built).
+func (e Entry) RWFactory(topo *numa.Topology) func() locks.RWMutex {
+	if e.NewRW != nil {
+		return func() locks.RWMutex { return e.NewRW(topo) }
+	}
+	if e.NewMutex == nil {
+		return nil
+	}
+	return func() locks.RWMutex { return locks.RWFromMutex(e.NewMutex(topo)) }
+}
+
 // BuildMutexes constructs n independent blocking instances of this
 // lock. It panics if the entry is not blocking; callers select from
 // Blocking() or check NewMutex first.
@@ -150,6 +191,21 @@ func (e Entry) BuildMutexes(topo *numa.Topology, n int) []locks.Mutex {
 		panic(fmt.Sprintf("registry: %s has no blocking factory", e.Name))
 	}
 	out := make([]locks.Mutex, n)
+	for i := range out {
+		out[i] = f()
+	}
+	return out
+}
+
+// BuildRWMutexes constructs n independent reader-writer instances of
+// this lock (native RW or exclusive-adapted; see RWFactory). It panics
+// if the entry cannot lock at all.
+func (e Entry) BuildRWMutexes(topo *numa.Topology, n int) []locks.RWMutex {
+	f := e.RWFactory(topo)
+	if f == nil {
+		panic(fmt.Sprintf("registry: %s has no reader-writer factory", e.Name))
+	}
+	out := make([]locks.RWMutex, n)
 	for i := range out {
 		out[i] = f()
 	}
@@ -273,6 +329,28 @@ func Abortable() []Entry {
 		if e.NewTry != nil {
 			out = append(out, e)
 		}
+	}
+	return out
+}
+
+// RW returns the entries with a native reader-writer construction
+// (shared mode admits concurrent readers), in order.
+func RW() []Entry {
+	var out []Entry
+	for _, e := range entries {
+		if e.NewRW != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RWNames lists the native reader-writer lock names, in presentation
+// order — the `rw-*` column set of kvbench's read-path table.
+func RWNames() []string {
+	var out []string
+	for _, e := range RW() {
+		out = append(out, e.Name)
 	}
 	return out
 }

@@ -166,7 +166,8 @@ func TestBlockingAbortablePartition(t *testing.T) {
 	if len(blocking) == 0 || len(abortable) == 0 {
 		t.Fatal("expected both blocking and abortable entries")
 	}
-	// Exactly the five cohort blocking locks are marked Cohort among
+	// The paper's five blocking cohort locks, the C-BO-CLH extension,
+	// and the two reader-writer cohort locks are marked Cohort among
 	// blocking entries.
 	n := 0
 	for _, e := range blocking {
@@ -174,8 +175,8 @@ func TestBlockingAbortablePartition(t *testing.T) {
 			n++
 		}
 	}
-	if n != 6 {
-		t.Errorf("blocking cohort locks = %d, want 6", n)
+	if n != 8 {
+		t.Errorf("blocking cohort locks = %d, want 8", n)
 	}
 	n = 0
 	for _, e := range abortable {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/locks"
 	"repro/internal/locktest"
 	"repro/internal/numa"
 )
@@ -37,6 +38,40 @@ func TestEveryAbortableEntryPassesLocktest(t *testing.T) {
 		t.Run(e.Name, func(t *testing.T) {
 			topo := numa.New(2, 8)
 			locktest.CheckTryMutex(t, topo, e.NewTry(topo), 8, 150, 200*time.Microsecond)
+		})
+	}
+}
+
+// TestEveryRWEntryPassesLocktest round-trips every registered
+// reader-writer factory through locktest.CheckRW: writer exclusion,
+// torn-snapshot detection, and genuine cross-cluster reader
+// concurrency, automatically for any future rw-* registration.
+func TestEveryRWEntryPassesLocktest(t *testing.T) {
+	for _, e := range All() {
+		if e.NewRW == nil {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			topo := numa.New(2, 8)
+			locktest.CheckRW(t, topo, e.NewRW(topo), 5, 3, 150)
+		})
+	}
+}
+
+// TestRWFactoryAdaptsExclusiveEntries verifies the degradation path:
+// an exclusive-only entry still yields a correct RWMutex through
+// RWFactory (readers serialized), and reports itself as such.
+func TestRWFactoryAdaptsExclusiveEntries(t *testing.T) {
+	for _, name := range []string{"mcs", "c-bo-mcs", "pthread"} {
+		e := MustLookup(name)
+		t.Run(name, func(t *testing.T) {
+			topo := numa.New(2, 8)
+			l := e.RWFactory(topo)()
+			if locks.SharesReads(l) {
+				t.Fatalf("%s has no native RW construction but its adapter claims shared reads", name)
+			}
+			locktest.CheckRW(t, topo, l, 5, 3, 150)
 		})
 	}
 }

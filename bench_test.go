@@ -270,6 +270,125 @@ func BenchmarkGCR(b *testing.B) {
 	}
 }
 
+// execTrialOpsPerSec runs one fixed-window trial against an executor:
+// threads workers each loop posting a small critical section (bump a
+// shared counter pair) through Exec.
+func execTrialOpsPerSec(topo *numa.Topology, x locks.Executor, threads int) float64 {
+	var ops atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var a, b int64 // protected by the executor's exclusion
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(p *numa.Proc) {
+			defer wg.Done()
+			n := uint64(0)
+			for {
+				select {
+				case <-stop:
+					ops.Add(n)
+					return
+				default:
+				}
+				x.Exec(p, func() { a++; b++ })
+				n++
+			}
+		}(topo.Proc(w))
+	}
+	time.Sleep(trialWindow)
+	close(stop)
+	wg.Wait()
+	if a != b {
+		panic("executor exclusion violated in benchmark")
+	}
+	return float64(ops.Load()) / trialWindow.Seconds()
+}
+
+// BenchmarkCombining races each headline lock's combining executor
+// against the same lock driven one-acquisition-per-op
+// (ExecFromMutex), at the high-contention point — the delegated-
+// execution analogue of Figure 2.
+func BenchmarkCombining(b *testing.B) {
+	threads := contendedThreads()
+	for _, name := range []string{"mcs", "c-bo-mcs", "cna"} {
+		for _, comb := range []bool{false, true} {
+			bname := name + "/direct"
+			if comb {
+				bname = name + "/comb"
+			}
+			b.Run(bname, func(b *testing.B) {
+				e := registry.MustLookup(name)
+				topo := numa.New(4, threads)
+				var sum float64
+				for i := 0; i < b.N; i++ {
+					var x locks.Executor
+					if comb {
+						x = locks.NewCombining(topo, e.NewMutex(topo))
+					} else {
+						x = locks.ExecFromMutex(e.NewMutex(topo))
+					}
+					sum += execTrialOpsPerSec(topo, x, threads)
+				}
+				b.ReportMetric(sum/float64(b.N), "ops/s")
+			})
+		}
+	}
+}
+
+// BenchmarkBatchedStore measures the batched operation pipeline end
+// to end: the 50% mix through MGet/MSet batches vs the per-op loop,
+// with the store's critical sections either directly locked or
+// delegated to combining executors — the amortization exhibit across
+// every layer of the refactor.
+func BenchmarkBatchedStore(b *testing.B) {
+	threads := contendedThreads()
+	e := registry.MustLookup("c-bo-mcs")
+	const keyspace = 20_000
+	cases := []struct {
+		name  string
+		comb  bool
+		batch int
+	}{
+		{"direct/batch1", false, 1},
+		{"direct/batch16", false, 16},
+		{"comb/batch1", true, 1},
+		{"comb/batch16", true, 16},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			topo := numa.New(4, threads)
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				cfg := kvstore.Config{
+					Topo:     topo,
+					Shards:   4,
+					MaxBatch: 16,
+					Capacity: keyspace * 2,
+				}
+				if c.comb {
+					cfg.NewExec = func() locks.Executor {
+						return locks.NewCombining(topo, e.NewMutex(topo))
+					}
+				} else {
+					cfg.NewLock = e.MutexFactory(topo)
+				}
+				store := kvstore.New(cfg)
+				kvload.PopulateClusters(store, topo, keyspace, 128)
+				lcfg := kvload.DefaultConfig(topo, threads, 50)
+				lcfg.Duration = trialWindow
+				lcfg.Keyspace = keyspace
+				lcfg.BatchSize = c.batch
+				res, err := kvload.Run(lcfg, store)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += res.Throughput()
+			}
+			b.ReportMetric(sum/float64(b.N), "ops/s")
+		})
+	}
+}
+
 // BenchmarkTable2Malloc reproduces Table 2: mmicro malloc-free pairs
 // per millisecond, with the cross-cluster block-reuse rate (the
 // paper's explanatory mechanism) as a companion metric.

@@ -22,16 +22,27 @@
 // count. This is the Table-1-style exhibit for the cohort line's RW
 // follow-up: on read-mostly traffic shared mode should pull away from
 // every exclusive column.
+//
+// -batch switches to the batched-pipeline table: workers issue
+// MGet/MSet batches of the given size, and every lock column is
+// instrumented with an acquisition counter, so alongside the usual
+// speedup table an ops-per-acquisition table shows how much work each
+// lock amortizes per critical section. comb-* columns (the combining
+// executor over the base lock) batch across procs on top of the batch
+// APIs' per-call grouping; plain columns amortize only within each
+// call. comb-* names are also valid in the standard tables, where
+// they run the single-op path through delegated execution.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/cli"
 	"repro/internal/kvload"
 	"repro/internal/kvstore"
@@ -51,6 +62,7 @@ type options struct {
 	keyspace  uint64
 	affinity  float64
 	reads     float64
+	batch     int
 	placement kvstore.Placement
 	csv       bool
 	jsonOut   bool
@@ -71,6 +83,11 @@ type record struct {
 	// exclusive mode.
 	Reads    float64 `json:"read_fraction,omitempty"`
 	ReadPath string  `json:"read_path,omitempty"`
+	// Batch and OpsPerAcq are populated by -batch runs: the pipeline's
+	// batch size and how many operations each acquisition of the
+	// underlying lock amortized.
+	Batch     int     `json:"batch,omitempty"`
+	OpsPerAcq float64 `json:"ops_per_acq,omitempty"`
 }
 
 func main() {
@@ -82,6 +99,7 @@ func main() {
 		placementFlag = flag.String("placement", "affine", "shard placement: hashmod or affine")
 		affinityFlag  = flag.Float64("affinity", 0, "probability a worker's keys target its own cluster's shards [0,1]")
 		readsFlag     = flag.Float64("reads", 0, "read fraction for the RW read-path table (e.g. 0.99); >0 replaces -mix and compares shared vs exclusive Gets")
+		batchFlag     = flag.Int("batch", 0, "batch size for the batched-pipeline table (e.g. 16); >0 drives MGet/MSet batches and adds an ops-per-acquisition table")
 		clustersFlag  = flag.Int("clusters", 4, "NUMA clusters to simulate")
 		durationFlag  = flag.Duration("duration", 300*time.Millisecond, "measurement window per cell")
 		keysFlag      = flag.Uint64("keys", 50_000, "distinct keys (pre-populated)")
@@ -96,6 +114,7 @@ func main() {
 		keyspace: *keysFlag,
 		affinity: *affinityFlag,
 		reads:    *readsFlag,
+		batch:    *batchFlag,
 		csv:      *csvFlag,
 		jsonOut:  *jsonFlag,
 		locks:    cli.ParseNameList(*locksFlag),
@@ -134,8 +153,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kvbench: -reads %v outside [0,1]\n", opt.reads)
 		os.Exit(2)
 	}
+	if opt.batch < 0 {
+		fmt.Fprintf(os.Stderr, "kvbench: negative -batch %d\n", opt.batch)
+		os.Exit(2)
+	}
+	if opt.batch > 0 && opt.reads > 0 {
+		fmt.Fprintf(os.Stderr, "kvbench: -batch and -reads select different tables; pick one\n")
+		os.Exit(2)
+	}
+	if opt.batch > 0 && opt.affinity > 0 {
+		fmt.Fprintf(os.Stderr, "kvbench: -affinity is a per-operation knob; unsupported with -batch\n")
+		os.Exit(2)
+	}
 	if len(opt.locks) == 0 {
-		if opt.reads > 0 {
+		if opt.batch > 0 {
+			// The batched table races each headline lock against its
+			// combining twin, so amortization-from-batching and
+			// amortization-from-combining land side by side.
+			opt.locks = []string{"mcs", "comb-mcs", "c-bo-mcs", "comb-c-bo-mcs", "cna", "comb-cna"}
+		} else if opt.reads > 0 {
 			// The RW table defaults to the native reader-writer family;
 			// each gets a shared and an exclusive column.
 			opt.locks = registry.RWNames()
@@ -170,13 +206,22 @@ func run(opt options) error {
 	topo := numa.New(opt.clusters, maxThreads)
 
 	var records []record
-	if opt.reads > 0 {
+	switch {
+	case opt.reads > 0:
 		recs, err := runRW(opt, topo)
 		if err != nil {
 			return err
 		}
 		records = recs
-	} else {
+	case opt.batch > 0:
+		for _, mix := range opt.mixes {
+			recs, err := runBatchMix(opt, topo, mix)
+			if err != nil {
+				return err
+			}
+			records = append(records, recs...)
+		}
+	default:
 		for _, mix := range opt.mixes {
 			recs, err := runMix(opt, topo, mix)
 			if err != nil {
@@ -186,9 +231,7 @@ func run(opt options) error {
 		}
 	}
 	if opt.jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(records)
+		return benchfmt.Write(os.Stdout, records)
 	}
 	return nil
 }
@@ -216,11 +259,19 @@ func sizeShards(cfg *kvstore.Config, opt options, topo *numa.Topology, shards in
 	}
 }
 
-// newStore builds one cell's store: a single pre-built lock on the
-// pre-sharding path, one lock instance per shard from the registry
-// factory otherwise.
+// newStore builds one cell's store: a combining executor per shard
+// for comb-* entries, a single pre-built lock on the pre-sharding
+// path, one lock instance per shard from the registry factory
+// otherwise.
 func newStore(opt options, topo *numa.Topology, e registry.Entry, shards int) *kvstore.Store {
 	cfg := kvstore.Config{Topo: topo}
+	if e.NewExec != nil {
+		cfg.NewExec = e.ExecFactory(topo)
+		if shards > 1 {
+			sizeShards(&cfg, opt, topo, shards)
+		}
+		return kvstore.New(cfg)
+	}
 	if shards <= 1 {
 		cfg.Lock = e.NewMutex(topo)
 		return kvstore.New(cfg)
@@ -250,6 +301,126 @@ func newStoreRW(opt options, topo *numa.Topology, e registry.Entry, shards int, 
 	return kvstore.New(cfg)
 }
 
+// measureBatch runs one batched-pipeline cell: kvload MGet/MSet
+// batches of opt.batch against a fresh store whose every lock
+// instance carries an acquisition counter. Population acquisitions
+// are excluded; the returned amortization covers only the measured
+// window.
+func measureBatch(opt options, topo *numa.Topology, e registry.Entry, threads, getPct, shards int) (tp, opsPerAcq float64, err error) {
+	// Every shard's lock sums into one acquisition counter; under a
+	// comb-* column the counter sits between the combiner and the base
+	// lock, so combined batches count as the single acquisition they
+	// are.
+	var acquisitions atomic.Uint64
+	cfg := kvstore.Config{Topo: topo, MaxBatch: opt.batch}
+	switch {
+	case e.NewExec != nil:
+		// Derived combining entry: rebuild it by hand to interpose the
+		// counter on the base lock.
+		base := registry.MustLookup(e.Base)
+		newMutex := base.MutexFactory(topo)
+		cfg.NewExec = func() locks.Executor {
+			return locks.NewCombining(topo, locks.CountAcquisitions(newMutex(), &acquisitions))
+		}
+	case e.NewMutex != nil:
+		newMutex := e.MutexFactory(topo)
+		cfg.NewLock = func() locks.Mutex {
+			return locks.CountAcquisitions(newMutex(), &acquisitions)
+		}
+	default:
+		return 0, 0, fmt.Errorf("lock %q cannot guard the store", e.Name)
+	}
+	if shards > 1 {
+		sizeShards(&cfg, opt, topo, shards)
+	}
+	store := kvstore.New(cfg)
+	kvload.PopulateClusters(store, topo, opt.keyspace, 128)
+	runtime.GC() // population litters the heap; keep GC out of the window
+	before := acquisitions.Load()
+	lcfg := kvload.DefaultConfig(topo, threads, getPct)
+	lcfg.Duration = opt.duration
+	lcfg.Keyspace = opt.keyspace
+	lcfg.BatchSize = opt.batch
+	res, err := kvload.Run(lcfg, store)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s @%d x%d shards (batch=%d): %w", e.Name, threads, shards, opt.batch, err)
+	}
+	if acq := acquisitions.Load() - before; acq > 0 {
+		opsPerAcq = float64(res.Ops) / float64(acq)
+	}
+	return res.Throughput(), opsPerAcq, nil
+}
+
+// runBatchMix emits the batched-pipeline tables for one mix: per
+// shard count, a speedup table (normalized to batched pthread@1 on
+// one shard) and an ops-per-acquisition table over the same cells.
+func runBatchMix(opt options, topo *numa.Topology, getPct int) ([]record, error) {
+	base, _, err := measureBatch(opt, topo, registry.MustLookup("pthread"), 1, getPct, 1)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "batch=%d mix %d%% gets: pthread@1 baseline %.0f ops/s\n", opt.batch, getPct, base)
+
+	entries := make([]registry.Entry, 0, len(opt.locks))
+	for _, name := range opt.locks {
+		e, err := registry.Find(name)
+		if err != nil {
+			return nil, err
+		}
+		if e.NewMutex == nil && e.NewExec == nil {
+			return nil, fmt.Errorf("lock %q is abortable-only and cannot guard the store", name)
+		}
+		entries = append(entries, e)
+	}
+
+	var records []record
+	for _, shards := range opt.shards {
+		title := fmt.Sprintf("Batched pipeline (batch=%d, %d%% gets): speedup over pthread@1", opt.batch, getPct)
+		amortTitle := fmt.Sprintf("Batched pipeline (batch=%d, %d%% gets): ops per lock acquisition", opt.batch, getPct)
+		if shards > 1 {
+			suffix := fmt.Sprintf(" [%d shards, %s placement]", shards, opt.placement)
+			title += suffix
+			amortTitle += suffix
+		}
+		headers := append([]string{"threads"}, opt.locks...)
+		tb := stats.NewTable(title, headers...)
+		ab := stats.NewTable(amortTitle, headers...)
+		for _, n := range opt.threads {
+			row := []string{fmt.Sprint(n)}
+			amortRow := []string{fmt.Sprint(n)}
+			for _, e := range entries {
+				tp, opsPerAcq, err := measureBatch(opt, topo, e, n, getPct, shards)
+				if err != nil {
+					return nil, err
+				}
+				placement := opt.placement.String()
+				if shards <= 1 {
+					placement = "single"
+				}
+				records = append(records, record{
+					Mix: getPct, Lock: e.Name, Threads: n, Shards: shards,
+					Placement: placement,
+					OpsPerSec: tp, Speedup: stats.Speedup(base, tp),
+					Batch: opt.batch, OpsPerAcq: opsPerAcq,
+				})
+				row = append(row, stats.F(stats.Speedup(base, tp), 2))
+				amortRow = append(amortRow, stats.F(opsPerAcq, 1))
+				fmt.Fprintf(os.Stderr, "ran batch=%d mix=%d%% %-16s threads=%-4d shards=%-3d %.0f ops/s %.1f ops/acq\n",
+					opt.batch, getPct, e.Name, n, shards, tp, opsPerAcq)
+			}
+			tb.AddRow(row...)
+			ab.AddRow(amortRow...)
+		}
+		if !opt.jsonOut {
+			fmt.Print(cli.Emit(tb, opt.csv))
+			fmt.Println()
+			fmt.Print(cli.Emit(ab, opt.csv))
+			fmt.Println()
+		}
+	}
+	return records, nil
+}
+
 // measure runs one (lock, threads, mix, shards) cell against a fresh
 // store.
 func measure(opt options, topo *numa.Topology, lockName string, threads, getPct, shards int) (float64, error) {
@@ -257,7 +428,7 @@ func measure(opt options, topo *numa.Topology, lockName string, threads, getPct,
 	if err != nil {
 		return 0, err
 	}
-	if e.NewMutex == nil {
+	if e.NewMutex == nil && e.NewExec == nil {
 		return 0, fmt.Errorf("lock %q is abortable-only and cannot guard the store", lockName)
 	}
 	store := newStore(opt, topo, e, shards)
@@ -315,6 +486,9 @@ func runRW(opt options, topo *numa.Topology) ([]record, error) {
 			return nil, err
 		}
 		if e.NewMutex == nil && e.NewRW == nil {
+			if e.NewExec != nil {
+				return nil, fmt.Errorf("lock %q is a combining executor with no reader-writer face; use it with -batch or the standard tables", name)
+			}
 			return nil, fmt.Errorf("lock %q is abortable-only and cannot guard the store", name)
 		}
 		if e.NewRW != nil {

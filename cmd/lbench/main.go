@@ -18,7 +18,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/lbench"
@@ -147,9 +147,7 @@ func run(opt options) error {
 		}
 	}
 	if opt.jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(records)
+		return benchfmt.Write(os.Stdout, records)
 	}
 	return nil
 }

@@ -4,14 +4,17 @@
 // presents: C-BO-BO, C-TKT-TKT, C-BO-MCS, C-TKT-MCS, C-MCS-MCS and the
 // abortable A-C-BO-BO and A-C-BO-CLH.
 //
-// Beyond the paper it carries three extensions from the same design
+// Beyond the paper it carries four extensions from the same design
 // lineage: the compact NUMA-aware lock (NewCNA), which gets cohort-
 // style locality out of a single queue; generic concurrency
 // restriction (NewRestricted), which wraps any lock with per-cluster
-// admission control so saturation cannot collapse throughput; and
+// admission control so saturation cannot collapse throughput;
 // reader-writer cohorting (NewRWCohort, NewRWPerCluster) — the
 // authors' PPoPP'13 follow-up — which adds per-cluster reader counters
-// over any writer lock so read-mostly workloads scale across clusters.
+// over any writer lock so read-mostly workloads scale across clusters;
+// and combining execution (NewCombining), flat-combining-style
+// delegated critical sections that run same-cluster batches under a
+// single acquisition of any underlying lock.
 //
 // # Model
 //
@@ -264,6 +267,31 @@ func NewCNAStreak(topo *Topology, limit int64) *CNALock {
 	return locks.NewCNAStreak(topo, limit)
 }
 
+// Executor is delegated mutual exclusion: Exec runs the closure
+// inside the executor's exclusion domain — at most one closure at a
+// time, each exactly once — and returns when it has run. See
+// NewCombining for why a lock would execute your critical section
+// instead of letting you hold it.
+type Executor = locks.Executor
+
+// CombiningLock turns any Lock into a combining lock: procs post
+// closures to per-proc publication slots, and an elected per-cluster
+// combiner runs whole same-cluster batches under a single acquisition
+// of the underlying lock — flat-combining-style delegated execution,
+// the technique FC-MCS derives from, over any lock in the family.
+type CombiningLock = locks.Combining
+
+// NewCombining builds a combining executor over a fresh underlying
+// lock (the executor owns it; do not Lock/Unlock it directly).
+func NewCombining(topo *Topology, underlying Lock) *CombiningLock {
+	return locks.NewCombining(topo, underlying)
+}
+
+// ExecFromLock adapts any Lock to the Executor interface — one
+// acquisition per closure, no combining — so executor-shaped code
+// degrades gracefully to the whole lock family.
+func ExecFromLock(m Lock) Executor { return locks.ExecFromMutex(m) }
+
 // RestrictedLock wraps any Lock with generic concurrency restriction
 // (Dice & Kogan, 2019): at most K waiters per cluster compete for the
 // inner lock, the surplus parks FIFO. See NewRestricted.
@@ -279,10 +307,11 @@ func NewRestricted(topo *Topology, inner Lock, perCluster int) *RestrictedLock {
 
 // Interface conformance checks.
 var (
-	_ Lock    = (*CohortLock)(nil)
-	_ TryLock = (*AbortableCohortLock)(nil)
-	_ Lock    = (*CNALock)(nil)
-	_ Lock    = (*RestrictedLock)(nil)
-	_ RWLock  = (*RWCohortLock)(nil)
-	_ RWLock  = (*RWPerClusterLock)(nil)
+	_ Lock     = (*CohortLock)(nil)
+	_ TryLock  = (*AbortableCohortLock)(nil)
+	_ Lock     = (*CNALock)(nil)
+	_ Lock     = (*RestrictedLock)(nil)
+	_ RWLock   = (*RWCohortLock)(nil)
+	_ RWLock   = (*RWPerClusterLock)(nil)
+	_ Executor = (*CombiningLock)(nil)
 )

@@ -297,3 +297,86 @@ func TestRunShardedAffine(t *testing.T) {
 			res.Store.Hits, res.Store.Misses)
 	}
 }
+
+func TestBatchValidation(t *testing.T) {
+	topo := numa.New(4, 8)
+	s := fastStore(topo)
+	for i, cfg := range []Config{
+		fastCfgMod(topo, func(c *Config) { c.BatchSize = -1 }),
+		fastCfgMod(topo, func(c *Config) { c.BatchSize = 8; c.Affinity = 0.5 }),
+	} {
+		if _, err := Run(cfg, s); err == nil {
+			t.Errorf("bad batch config %d accepted", i)
+		}
+	}
+}
+
+func TestRunBatched(t *testing.T) {
+	// The batched pipeline must keep the load generator's accounting
+	// exact: worker counters, store statistics and the batch quantum
+	// all line up.
+	topo := numa.New(4, 8)
+	for _, shards := range []int{1, 4} {
+		store := kvstore.New(kvstore.Config{
+			Topo:    topo,
+			NewLock: func() locks.Mutex { return locks.NewPthread() },
+			Shards:  shards, MaxBatch: 8,
+			Buckets: 1 << 10, Capacity: 1 << 14,
+			Cache:       cachesim.Config{LocalNs: 1, RemoteNs: 1},
+			ItemLocalNs: 1, ItemRemoteNs: 1,
+		})
+		Populate(store, topo.Proc(0), 1000, 32)
+		cfg := fastCfg(topo, 4, 50)
+		cfg.BatchSize = 16
+		res, err := Run(cfg, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("%d shards: no batched ops completed", shards)
+		}
+		if res.Gets+res.Sets != res.Ops {
+			t.Fatalf("%d shards: gets %d + sets %d != ops %d", shards, res.Gets, res.Sets, res.Ops)
+		}
+		if res.Ops%uint64(cfg.BatchSize) != 0 {
+			t.Fatalf("%d shards: ops %d is not a multiple of the batch size %d", shards, res.Ops, cfg.BatchSize)
+		}
+		st := res.Store
+		if st.Gets != res.Gets || st.Sets < res.Sets {
+			t.Fatalf("%d shards: store saw gets/sets %d/%d, workers issued %d/%d",
+				shards, st.Gets, st.Sets, res.Gets, res.Sets)
+		}
+		if st.Hits+st.Misses != st.Gets {
+			t.Fatalf("%d shards: hits %d + misses %d != gets %d", shards, st.Hits, st.Misses, st.Gets)
+		}
+	}
+}
+
+func TestRunBatchedThroughCombiningExecutor(t *testing.T) {
+	// End to end through every new layer: batched load over a store
+	// whose shards delegate to combining executors.
+	topo := numa.New(4, 8)
+	store := kvstore.New(kvstore.Config{
+		Topo: topo,
+		NewExec: func() locks.Executor {
+			return locks.NewCombining(topo, locks.NewMCS(topo))
+		},
+		Shards: 2, MaxBatch: 8,
+		Buckets: 1 << 10, Capacity: 1 << 14,
+		Cache:       cachesim.Config{LocalNs: 1, RemoteNs: 1},
+		ItemLocalNs: 1, ItemRemoteNs: 1,
+	})
+	Populate(store, topo.Proc(0), 1000, 32)
+	cfg := fastCfg(topo, 6, 90)
+	cfg.BatchSize = 8
+	res, err := Run(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no ops through the combining executor")
+	}
+	if res.Store.Gets != res.Gets {
+		t.Fatalf("store saw %d gets, workers issued %d", res.Store.Gets, res.Gets)
+	}
+}

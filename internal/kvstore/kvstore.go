@@ -32,6 +32,20 @@
 // A single-shard Store routes every key to its one shard and behaves
 // exactly like the pre-sharding store.
 //
+// Beyond one-operation-per-acquisition, the store batches: the
+// MGet/MSet/MDelete APIs group keys by shard and run each shard's
+// group in critical sections of up to Config.MaxBatch operations, so
+// N same-shard operations cost ceil(N/MaxBatch) acquisitions instead
+// of N. Orthogonally, Config.NewExec replaces each shard's direct
+// locking with a delegated-execution seam (locks.Executor): every
+// critical section is posted as a closure to a combining executor,
+// whose combiner runs same-cluster batches — across requesting procs
+// — under a single acquisition of the underlying lock. That is the
+// flat-combining amortization the paper credits FC-MCS with (§4.1.3),
+// applied to the store's own critical sections rather than to queue
+// hand-offs. Configurations without NewExec keep the direct locking
+// paths untouched, so Table 1 numbers are unaffected.
+//
 // The cache lock itself is reader-writer shaped (locks.RWMutex): Sets
 // and Deletes take exclusive mode, and when the configured lock's
 // shared mode genuinely admits concurrent readers (an rw-* registry
@@ -46,6 +60,7 @@ package kvstore
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cachesim"
 	"repro/internal/locks"
@@ -109,9 +124,23 @@ type Config struct {
 	// exclusive mode. Takes precedence over Lock.
 	RWLock locks.RWMutex
 	// NewRWLock builds one reader-writer lock per shard; registry
-	// entries provide such factories via Entry.RWFactory. Highest
-	// precedence of the four lock fields.
+	// entries provide such factories via Entry.RWFactory. Takes
+	// precedence over NewLock, RWLock and Lock.
 	NewRWLock func() locks.RWMutex
+	// NewExec builds one combining executor per shard (registry comb-*
+	// entries provide such factories via Entry.ExecFactory). Highest
+	// precedence of all lock fields: every shard operation — Gets
+	// included — then runs as a closure delegated to the executor,
+	// whose combiner executes same-cluster batches under a single
+	// acquisition of its underlying lock. Configurations without
+	// NewExec keep the direct locking paths untouched.
+	NewExec func() locks.Executor
+	// MaxBatch bounds how many operations of a batch API call
+	// (MGet/MSet/MDelete) run inside one critical section, capping
+	// lock hold times: a shard group of N operations takes
+	// ceil(N/MaxBatch) acquisitions instead of N. Default 64.
+	// Single-operation calls are unaffected.
+	MaxBatch int
 	// TouchEvery is the shared read path's LRU sampling stride: each
 	// proc refreshes an item's LRU position (under a brief exclusive
 	// acquire) only on its TouchEvery-th hit, keeping the common-case
@@ -144,16 +173,19 @@ func (c *Config) setDefaults() error {
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
-	if c.NewRWLock == nil && c.NewLock == nil {
+	if c.NewExec == nil && c.NewRWLock == nil && c.NewLock == nil {
 		if c.RWLock == nil && c.Lock == nil {
 			return fmt.Errorf("kvstore: nil lock")
 		}
 		if c.Shards > 1 {
-			return fmt.Errorf("kvstore: %d shards need a NewLock/NewRWLock factory, not a single pre-built lock", c.Shards)
+			return fmt.Errorf("kvstore: %d shards need a NewLock/NewRWLock/NewExec factory, not a single pre-built lock", c.Shards)
 		}
 	}
 	if c.TouchEvery <= 0 {
 		c.TouchEvery = DefaultTouchEvery
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
 	}
 	if c.Buckets <= 0 {
 		c.Buckets = 1 << 15
@@ -174,6 +206,11 @@ func (c *Config) setDefaults() error {
 // DefaultTouchEvery is the default LRU sampling stride of the shared
 // read path: one in eight hits per proc refreshes the item's recency.
 const DefaultTouchEvery = 8
+
+// DefaultMaxBatch is the default bound on operations per batch-API
+// critical section — long enough to amortize the acquisition, short
+// enough that a batch never monopolizes a shard lock.
+const DefaultMaxBatch = 64
 
 // Stats is an aggregated view of store activity.
 type Stats struct {
@@ -200,6 +237,11 @@ type Store struct {
 	shards    []*Shard
 	homes     []int   // shard index -> home cluster
 	groups    [][]int // cluster -> indices of shards homed there
+	// identity caches 0..n-1 for single-shard batch routing, so the
+	// steady-state batched pipeline allocates nothing per call. The
+	// published slice is immutable (contents are fixed by position);
+	// racing growers just waste one allocation.
+	identity atomic.Pointer[[]int]
 }
 
 // New builds a store; it panics on invalid configuration (programmer
@@ -208,11 +250,16 @@ func New(cfg Config) *Store {
 	if err := cfg.setDefaults(); err != nil {
 		panic(err)
 	}
-	// Resolve the four lock fields into one RW factory, highest
-	// precedence first; exclusive sources pass through RWFromMutex so
-	// their shards keep the exclusive read path.
+	// Resolve the lock fields into one per-shard factory, highest
+	// precedence first. An executor factory supersedes every lock
+	// field (the executor owns the shard's exclusion domain);
+	// exclusive lock sources pass through RWFromMutex so their shards
+	// keep the exclusive read path.
+	var newExec func() locks.Executor
 	var newLock func() locks.RWMutex
 	switch {
+	case cfg.NewExec != nil:
+		newExec = cfg.NewExec
 	case cfg.NewRWLock != nil:
 		newLock = cfg.NewRWLock
 	case cfg.NewLock != nil:
@@ -242,16 +289,22 @@ func New(cfg Config) *Store {
 		groups:    make([][]int, cfg.Topo.Clusters()),
 	}
 	for i := range s.shards {
-		s.shards[i] = newShard(shardConfig{
+		sc := shardConfig{
 			topo:       cfg.Topo,
-			lock:       newLock(),
+			maxBatch:   cfg.MaxBatch,
 			touchEvery: uint64(cfg.TouchEvery),
 			buckets:    perBuckets,
 			capacity:   perCapacity,
 			cache:      cfg.Cache,
 			itemLocal:  cfg.ItemLocalNs,
 			itemRemote: cfg.ItemRemoteNs,
-		})
+		}
+		if newExec != nil {
+			sc.exec = newExec()
+		} else {
+			sc.lock = newLock()
+		}
+		s.shards[i] = newShard(sc)
 		home := i % cfg.Topo.Clusters()
 		s.homes[i] = home
 		s.groups[home] = append(s.groups[home], i)
@@ -306,6 +359,101 @@ func (s *Store) Set(p *numa.Proc, key uint64, val []byte) {
 // was present.
 func (s *Store) Delete(p *numa.Proc, key uint64) bool {
 	return s.shardFor(p, key).Delete(p, key)
+}
+
+// identityIdx returns a shared read-only index slice [0,1,...,n-1].
+func (s *Store) identityIdx(n int) []int {
+	if p := s.identity.Load(); p != nil && len(*p) >= n {
+		return (*p)[:n]
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	s.identity.Store(&idx)
+	return idx
+}
+
+// groupByShard partitions the indices of keys by target shard under
+// the store's placement, preserving caller order within each group.
+// Every index lands in exactly one group — the routing-completeness
+// the batch APIs rely on. Single-shard stores route through the
+// cached identity index (no per-call allocation); the multi-shard
+// grouping allocates per call, a cost paid equally by every lock
+// configuration.
+func (s *Store) groupByShard(p *numa.Proc, keys []uint64) [][]int {
+	groups := make([][]int, len(s.shards))
+	for i, k := range keys {
+		si := s.shardIndex(p, k)
+		groups[si] = append(groups[si], i)
+	}
+	return groups
+}
+
+// MGet looks up every key, copying values into the matching dsts
+// buffer (dsts may be nil to probe without copying) and reporting
+// per-key copy lengths and presence in lens and found. Keys are
+// grouped by shard and each shard's group runs in critical sections
+// of at most Config.MaxBatch lookups — one lock acquisition (or one
+// combined closure, under a comb-* executor) answers a whole chunk,
+// instead of one per key as repeated Get calls would pay. Results are
+// written at the same index as the key; every key is answered exactly
+// once. Semantics per key match Get on an exclusive lock: a hit pays
+// the item touch and LRU bump inside the critical section.
+func (s *Store) MGet(p *numa.Proc, keys []uint64, dsts [][]byte, lens []int, found []bool) {
+	if dsts != nil && len(dsts) != len(keys) {
+		panic(fmt.Sprintf("kvstore: MGet with %d dsts for %d keys", len(dsts), len(keys)))
+	}
+	if len(lens) != len(keys) || len(found) != len(keys) {
+		panic(fmt.Sprintf("kvstore: MGet with %d lens / %d found for %d keys", len(lens), len(found), len(keys)))
+	}
+	if len(s.shards) == 1 {
+		s.shards[0].mget(p, keys, dsts, lens, found, s.identityIdx(len(keys)))
+		return
+	}
+	for si, idx := range s.groupByShard(p, keys) {
+		if len(idx) > 0 {
+			s.shards[si].mget(p, keys, dsts, lens, found, idx)
+		}
+	}
+}
+
+// MSet inserts or updates every key with a copy of the matching vals
+// entry, grouping by shard exactly as MGet does: each shard's group
+// runs in critical sections of at most Config.MaxBatch sets, so N
+// same-shard keys cost ceil(N/MaxBatch) acquisitions instead of N.
+// Caller order is preserved within a shard, so duplicate keys resolve
+// last-wins like sequential Sets; keys on different shards apply in
+// shard order, indistinguishable to readers since cross-shard Sets
+// were never atomic to begin with.
+func (s *Store) MSet(p *numa.Proc, keys []uint64, vals [][]byte) {
+	if len(vals) != len(keys) {
+		panic(fmt.Sprintf("kvstore: MSet with %d vals for %d keys", len(vals), len(keys)))
+	}
+	if len(s.shards) == 1 {
+		s.shards[0].mset(p, keys, vals, s.identityIdx(len(keys)))
+		return
+	}
+	for si, idx := range s.groupByShard(p, keys) {
+		if len(idx) > 0 {
+			s.shards[si].mset(p, keys, vals, idx)
+		}
+	}
+}
+
+// MDelete removes every key, batched like MSet, and reports how many
+// were present.
+func (s *Store) MDelete(p *numa.Proc, keys []uint64) int {
+	if len(s.shards) == 1 {
+		return s.shards[0].mdelete(p, keys, s.identityIdx(len(keys)))
+	}
+	n := 0
+	for si, idx := range s.groupByShard(p, keys) {
+		if len(idx) > 0 {
+			n += s.shards[si].mdelete(p, keys, idx)
+		}
+	}
+	return n
 }
 
 // Len reports the item count summed over all shards (takes each shard

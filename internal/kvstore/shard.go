@@ -46,10 +46,13 @@ type opSlot struct {
 }
 
 // shardConfig carries the per-shard slice of a Store's Config, already
-// validated and normalized (buckets a power of two, capacity >= 1).
+// validated and normalized (buckets a power of two, capacity >= 1,
+// maxBatch >= 1). Exactly one of lock and exec is set.
 type shardConfig struct {
 	topo       *numa.Topology
 	lock       locks.RWMutex
+	exec       locks.Executor
+	maxBatch   int
 	touchEvery uint64
 	buckets    int
 	capacity   int
@@ -65,6 +68,16 @@ type shardConfig struct {
 // was a single Shard behind one cache lock.
 type Shard struct {
 	lock locks.RWMutex
+	// exec, when non-nil, is the shard's delegated-execution seam:
+	// every critical section runs as a closure posted to a combining
+	// executor (which batches same-cluster sections under one
+	// acquisition of its underlying lock) instead of bracketing the
+	// shard lock directly. lock is nil on this path — the executor owns
+	// the exclusion domain.
+	exec locks.Executor
+	// maxBatch bounds how many batched operations (MGet/MSet/MDelete)
+	// run inside one critical section.
+	maxBatch int
 	// sharedReads is true when lock's shared mode genuinely admits
 	// concurrent readers; Get then runs the shared read path. False for
 	// exclusive locks adapted via locks.RWFromMutex, whose Gets keep
@@ -84,9 +97,15 @@ type Shard struct {
 }
 
 func newShard(cfg shardConfig) *Shard {
+	sharedReads := false
+	if cfg.exec == nil {
+		sharedReads = locks.SharesReads(cfg.lock)
+	}
 	return &Shard{
 		lock:        cfg.lock,
-		sharedReads: locks.SharesReads(cfg.lock),
+		exec:        cfg.exec,
+		maxBatch:    cfg.maxBatch,
+		sharedReads: sharedReads,
 		touchEvery:  cfg.touchEvery,
 		mask:        uint64(cfg.buckets - 1),
 		buckets:     make([]*item, cfg.buckets),
@@ -229,20 +248,41 @@ func (s *Shard) Get(p *numa.Proc, key uint64, dst []byte) (int, bool) {
 	return n, true
 }
 
-// getExclusive is the pre-RW read path, taken verbatim whenever the
-// shard's lock serializes readers: every hit pays the item touch and
-// LRU bump under the exclusive cache lock, so single-shard exclusive
-// configurations reproduce the paper's Table 1 behavior unchanged.
+// getExclusive is the pre-RW read path, taken whenever the shard's
+// lock serializes readers: every hit pays the item touch and LRU bump
+// inside the exclusive critical section, so single-shard exclusive
+// configurations reproduce the paper's Table 1 behavior unchanged. On
+// the executor seam the same critical section runs as a posted
+// closure — batched with other same-cluster operations by the
+// combiner — instead of bracketing the lock directly.
 func (s *Shard) getExclusive(p *numa.Proc, key uint64, dst []byte) (int, bool) {
 	slot := &s.slots[p.ID()]
-	s.lock.Lock(p)
+	var n int
+	var hit bool
+	if s.exec != nil {
+		s.exec.Exec(p, func() { n, hit = s.applyGet(p, key, dst) })
+	} else {
+		s.lock.Lock(p)
+		n, hit = s.applyGet(p, key, dst)
+		s.lock.Unlock(p)
+	}
+	slot.gets++
+	if hit {
+		slot.hits++
+	} else {
+		slot.misses++
+	}
+	return n, hit
+}
+
+// applyGet is a get's critical section: hash walk, item touch, LRU
+// bump and value copy. Callers hold the shard's exclusion (the lock,
+// or the executor's combiner); statistics stay outside.
+func (s *Shard) applyGet(p *numa.Proc, key uint64, dst []byte) (int, bool) {
 	// The hash-bucket walk is read-only: read-shared lines replicate
 	// across caches without coherence misses, so no charge applies.
 	it := s.find(key)
 	if it == nil {
-		s.lock.Unlock(p)
-		slot.gets++
-		slot.misses++
 		return 0, false
 	}
 	// The LRU bump writes the item's own links — the one line a get
@@ -252,18 +292,28 @@ func (s *Shard) getExclusive(p *numa.Proc, key uint64, dst []byte) (int, bool) {
 	// performing alike on read-heavy loads).
 	s.touchItem(p, it)
 	s.lruFront(it)
-	n := copy(dst, it.value)
-	s.lock.Unlock(p)
-	slot.gets++
-	slot.hits++
-	return n, true
+	return copy(dst, it.value), true
 }
 
 // Set inserts or updates key with a copy of val, evicting the LRU
 // victim if the shard is over capacity.
 func (s *Shard) Set(p *numa.Proc, key uint64, val []byte) {
 	slot := &s.slots[p.ID()]
-	s.lock.Lock(p)
+	if s.exec != nil {
+		s.exec.Exec(p, func() { s.applySet(p, key, val) })
+	} else {
+		s.lock.Lock(p)
+		s.applySet(p, key, val)
+		s.lock.Unlock(p)
+	}
+	slot.sets++
+}
+
+// applySet is a set's critical section; callers hold the shard's
+// exclusion. The per-proc sets counter stays outside; evictions are
+// charged inside (they are part of the guarded structural change).
+func (s *Shard) applySet(p *numa.Proc, key uint64, val []byte) {
+	slot := &s.slots[p.ID()]
 	it := s.find(key)
 	if it == nil {
 		// Structural insert: writes the bucket chain and allocator.
@@ -310,16 +360,26 @@ func (s *Shard) Set(p *numa.Proc, key uint64, val []byte) {
 	// this is the batchable portion of a set's critical section: runs
 	// of same-cluster sets keep these lines local.
 	s.domain.Access(p, lineStats, 1)
-	s.lock.Unlock(p)
-	slot.sets++
 }
 
 // Delete removes key, returning whether it was present.
 func (s *Shard) Delete(p *numa.Proc, key uint64) bool {
-	s.lock.Lock(p)
+	var ok bool
+	if s.exec != nil {
+		s.exec.Exec(p, func() { ok = s.applyDelete(p, key) })
+	} else {
+		s.lock.Lock(p)
+		ok = s.applyDelete(p, key)
+		s.lock.Unlock(p)
+	}
+	return ok
+}
+
+// applyDelete is a delete's critical section; callers hold the
+// shard's exclusion.
+func (s *Shard) applyDelete(p *numa.Proc, key uint64) bool {
 	it := s.find(key)
 	if it == nil {
-		s.lock.Unlock(p)
 		return false
 	}
 	s.domain.Access(p, lineHash, 1)
@@ -329,15 +389,88 @@ func (s *Shard) Delete(p *numa.Proc, key uint64) bool {
 	it.hnext = s.free
 	s.free = it
 	s.domain.Access(p, lineAlloc, 2)
-	s.lock.Unlock(p)
 	return true
 }
 
-// Len reports the current item count (takes the shard lock).
-func (s *Shard) Len(p *numa.Proc) int {
+// runBatch runs fn as one exclusive critical section: one posted
+// closure under the executor seam, or one acquisition of the shard
+// lock. The batch APIs feed it chunks of up to maxBatch operations.
+func (s *Shard) runBatch(p *numa.Proc, fn func()) {
+	if s.exec != nil {
+		s.exec.Exec(p, fn)
+		return
+	}
 	s.lock.Lock(p)
-	n := s.count
+	fn()
 	s.lock.Unlock(p)
+}
+
+// mget answers the group's lookups (idx indexes keys) in critical
+// sections of at most maxBatch operations each. dsts may be nil to
+// probe without copying; lens and found are written at the same
+// indices as keys.
+func (s *Shard) mget(p *numa.Proc, keys []uint64, dsts [][]byte, lens []int, found []bool, idx []int) {
+	slot := &s.slots[p.ID()]
+	for start := 0; start < len(idx); start += s.maxBatch {
+		chunk := idx[start:min(start+s.maxBatch, len(idx))]
+		s.runBatch(p, func() {
+			for _, i := range chunk {
+				var dst []byte
+				if dsts != nil {
+					dst = dsts[i]
+				}
+				lens[i], found[i] = s.applyGet(p, keys[i], dst)
+			}
+		})
+		for _, i := range chunk {
+			slot.gets++
+			if found[i] {
+				slot.hits++
+			} else {
+				slot.misses++
+			}
+		}
+	}
+}
+
+// mset applies the group's sets (idx indexes keys/vals) in critical
+// sections of at most maxBatch operations each, preserving the
+// caller's order within the group — duplicate keys resolve last-wins,
+// exactly as the sequential calls would.
+func (s *Shard) mset(p *numa.Proc, keys []uint64, vals [][]byte, idx []int) {
+	slot := &s.slots[p.ID()]
+	for start := 0; start < len(idx); start += s.maxBatch {
+		chunk := idx[start:min(start+s.maxBatch, len(idx))]
+		s.runBatch(p, func() {
+			for _, i := range chunk {
+				s.applySet(p, keys[i], vals[i])
+			}
+		})
+		slot.sets += uint64(len(chunk))
+	}
+}
+
+// mdelete removes the group's keys in critical sections of at most
+// maxBatch operations each, returning how many were present.
+func (s *Shard) mdelete(p *numa.Proc, keys []uint64, idx []int) int {
+	n := 0
+	for start := 0; start < len(idx); start += s.maxBatch {
+		chunk := idx[start:min(start+s.maxBatch, len(idx))]
+		s.runBatch(p, func() {
+			for _, i := range chunk {
+				if s.applyDelete(p, keys[i]) {
+					n++
+				}
+			}
+		})
+	}
+	return n
+}
+
+// Len reports the current item count (one critical section).
+func (s *Shard) Len(p *numa.Proc) int {
+	var n int
+	s.runBatch(p, func() { n = s.count })
 	return n
 }
 

@@ -1,0 +1,247 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"repro/internal/numa"
+	"repro/internal/spin"
+)
+
+// Executor is delegated mutual exclusion: Exec runs fn inside the
+// executor's exclusion domain and returns once fn has run. It is the
+// seam that lets a data structure hand its critical sections to the
+// lock instead of holding the lock across them — the flat-combining
+// idea FC-MCS derives from, generalized over any underlying Mutex.
+//
+// The contract mirrors Lock/Unlock: at most one closure runs at a
+// time across all procs, every submitted closure runs exactly once,
+// and the closure's effects happen-before Exec's return. fn must not
+// call back into the same executor (or block waiting on another
+// proc's Exec): closures may be executed by a combiner thread that is
+// serving many procs' requests, so a nested submission deadlocks the
+// batch.
+type Executor interface {
+	Exec(p *numa.Proc, fn func())
+}
+
+// ExecCombiner is the optional introspection interface executors use
+// to report whether they genuinely batch closures (many ops per
+// acquisition of the underlying lock). ExecFromMutex adapters report
+// false; NewCombining reports true.
+type ExecCombiner interface {
+	CombinesExec() bool
+}
+
+// Combines reports whether x actually amortizes lock acquisitions
+// over batches of closures. Executors that do not implement
+// ExecCombiner are assumed not to combine.
+func Combines(x Executor) bool {
+	if c, ok := x.(ExecCombiner); ok {
+		return c.CombinesExec()
+	}
+	return false
+}
+
+// execMutex adapts a Mutex to the Executor interface: lock, run,
+// unlock — one acquisition per closure, the non-combining baseline.
+type execMutex struct {
+	m Mutex
+}
+
+func (e execMutex) Exec(p *numa.Proc, fn func()) {
+	e.m.Lock(p)
+	fn()
+	e.m.Unlock(p)
+}
+
+// CombinesExec reports false: the adapter pays one acquisition per op.
+func (e execMutex) CombinesExec() bool { return false }
+
+// ExecFromMutex adapts any mutual-exclusion lock to the Executor
+// interface by bracketing each closure with Lock/Unlock. Correct, not
+// amortized; Combines reports false so callers that only profit from
+// genuine batching can keep their direct locking path.
+func ExecFromMutex(m Mutex) Executor {
+	return execMutex{m: m}
+}
+
+// countingMutex is the CountAcquisitions wrapper.
+type countingMutex struct {
+	inner Mutex
+	n     *atomic.Uint64
+}
+
+func (c *countingMutex) Lock(p *numa.Proc) {
+	c.n.Add(1)
+	c.inner.Lock(p)
+}
+
+func (c *countingMutex) Unlock(p *numa.Proc) { c.inner.Unlock(p) }
+
+// CountAcquisitions returns m instrumented to add one to n on every
+// Lock call — the measurement seam behind the amortization exhibits.
+// n may be shared across instances (a sharded store's locks summing
+// into one counter); interposed beneath a Combining executor, a
+// combined batch counts as the single acquisition it is.
+func CountAcquisitions(m Mutex, n *atomic.Uint64) Mutex {
+	return &countingMutex{inner: m, n: n}
+}
+
+// Publication-slot states for the combining executor.
+const (
+	combIdle   int32 = 0 // no outstanding request
+	combPosted int32 = 1 // closure published, waiting to run
+	combDone   int32 = 2 // closure has run; poster may return
+)
+
+// combSlot is one proc's publication record: the posted closure and
+// its state, padded so posters on different procs never share a line.
+// fn is written by the owning proc before the posted store and read
+// by the cluster's combiner after observing posted, so the atomic
+// state carries all the ordering.
+type combSlot struct {
+	state  atomic.Int32
+	fn     func()
+	parker spin.Parker
+	_      numa.Pad
+}
+
+// Combining turns any Mutex into a combining lock: procs publish
+// closures in per-proc slots, one proc per cluster elects itself
+// combiner through the cluster's gate (the FC-MCS election machinery,
+// same patience window), and the combiner runs its cluster's whole
+// batch of posted closures under a single acquisition of the
+// underlying lock. Same-cluster critical sections therefore execute
+// back to back on one thread — the strongest possible locality, since
+// the data the sections touch never leaves the combiner's cache — and
+// the underlying lock is acquired once per batch instead of once per
+// operation.
+//
+// The underlying lock must be fresh (not shared with direct Lock/
+// Unlock users): the executor owns its exclusion domain.
+type Combining struct {
+	m Mutex
+	// active counts running combiners; posters elect eagerly while it
+	// is zero (no batch anywhere to ride) and otherwise linger the
+	// patience window to be harvested instead of competing.
+	active  atomic.Int32
+	ops     atomic.Uint64 // closures executed
+	batches atomic.Uint64 // acquisitions of the underlying lock
+	_       numa.Pad
+	gates   []combinerGate
+	slots   []combSlot
+	// members lists the proc ids of each cluster, the combiner's scan
+	// order.
+	members [][]int
+	// passes is how many harvest sweeps a combiner makes over its
+	// cluster's slots per acquisition.
+	passes int
+}
+
+// NewCombining returns a combining executor over m for the topology,
+// with the default harvest pass count.
+func NewCombining(topo *numa.Topology, m Mutex) *Combining {
+	return NewCombiningPasses(topo, m, DefaultFCPasses)
+}
+
+// NewCombiningPasses is NewCombining with an explicit combiner pass
+// count: more passes form longer batches (arrivals during the batch
+// join it) at the cost of longer lock hold times.
+func NewCombiningPasses(topo *numa.Topology, m Mutex, passes int) *Combining {
+	if passes < 1 {
+		passes = 1
+	}
+	c := &Combining{
+		m:       m,
+		gates:   make([]combinerGate, topo.Clusters()),
+		slots:   make([]combSlot, topo.MaxProcs()),
+		members: make([][]int, topo.Clusters()),
+		passes:  passes,
+	}
+	for i := range c.slots {
+		c.slots[i].parker = spin.MakeParker()
+	}
+	for id := 0; id < topo.MaxProcs(); id++ {
+		cl := topo.ClusterOf(id)
+		c.members[cl] = append(c.members[cl], id)
+	}
+	return c
+}
+
+// CombinesExec reports true: ops amortize over lock acquisitions.
+func (c *Combining) CombinesExec() bool { return true }
+
+// Exec publishes fn and waits until a combiner (possibly this proc)
+// has run it.
+func (c *Combining) Exec(p *numa.Proc, fn func()) {
+	slot := &c.slots[p.ID()]
+	slot.fn = fn
+	slot.state.Store(combPosted)
+
+	gate := &c.gates[p.Cluster()]
+	for i := 0; slot.state.Load() == combPosted; i++ {
+		// Bypass the patience window when no combiner is running
+		// anywhere: there is no batch to ride, so elect immediately
+		// (the low-contention fast path costs one gate CAS).
+		eager := c.active.Load() == 0
+		if (eager || i >= electAfter) && gate.held.Load() == 0 && gate.held.CompareAndSwap(0, 1) {
+			if slot.state.Load() == combPosted {
+				c.combine(p)
+			}
+			gate.held.Store(0)
+			break // combine always runs the combiner's own closure
+		}
+		spin.Poll(i)
+	}
+	slot.parker.Wait(func() bool { return slot.state.Load() == combDone })
+	slot.state.Store(combIdle)
+}
+
+// combine runs the cluster's posted closures — the combiner's own
+// among them — under one acquisition of the underlying lock. Called
+// with the cluster gate held.
+func (c *Combining) combine(p *numa.Proc) {
+	c.active.Add(1)
+	c.m.Lock(p)
+	ran := uint64(0)
+	for pass := 0; pass < c.passes; pass++ {
+		if pass > 0 {
+			// Let in-flight requests publish, so batches form even at
+			// moderate per-cluster occupancy (same rationale as the
+			// FC-MCS harvest pause).
+			spin.Pause(combinePassPause)
+		}
+		for _, id := range c.members[p.Cluster()] {
+			s := &c.slots[id]
+			if s.state.Load() != combPosted {
+				continue
+			}
+			fn := s.fn
+			s.fn = nil
+			fn()
+			s.state.Store(combDone)
+			s.parker.Wake()
+			ran++
+		}
+	}
+	c.m.Unlock(p)
+	c.batches.Add(1)
+	c.ops.Add(ran)
+	c.active.Add(-1)
+}
+
+// Ops reports the number of closures executed so far; read it while
+// posters are quiescent.
+func (c *Combining) Ops() uint64 { return c.ops.Load() }
+
+// Batches reports the number of underlying-lock acquisitions so far;
+// Ops/Batches is the amortization factor the construction buys.
+func (c *Combining) Batches() uint64 { return c.batches.Load() }
+
+// Interface conformance checks.
+var (
+	_ Executor     = execMutex{}
+	_ Executor     = (*Combining)(nil)
+	_ ExecCombiner = execMutex{}
+	_ ExecCombiner = (*Combining)(nil)
+)

@@ -7,13 +7,26 @@ package locktest
 import (
 	"sync"
 	"sync/atomic"
-	"testing"
 	"time"
 
 	"repro/internal/locks"
 	"repro/internal/numa"
 	"repro/internal/spin"
 )
+
+// TB is the slice of testing.TB the harnesses consume; *testing.T and
+// *testing.B satisfy it. Narrowing the dependency to an interface lets
+// this package's own tests drive every harness with a recording
+// implementation and assert that a deliberately broken lock makes the
+// harness fail — the harnesses themselves are load-bearing CI gates,
+// so they get the same adversarial coverage as the locks. A TB's
+// Fatal/Fatalf must stop the calling goroutine (as testing does via
+// runtime.Goexit): harness code does not continue past a fatal report.
+type TB interface {
+	Helper()
+	Fatal(args ...any)
+	Fatalf(format string, args ...any)
+}
 
 // shared is the critical-section state a harness protects. count is a
 // pair of deliberately non-atomic counters: any mutual-exclusion
@@ -40,12 +53,14 @@ func (s *shared) enter() {
 
 // harnessDeadline bounds every quota-based harness run: a lock that
 // deadlocks or starves a waiter fails within this window instead of
-// wedging the suite until the go-test timeout panics.
-const harnessDeadline = 2 * time.Minute
+// wedging the suite until the go-test timeout panics. A variable so
+// this package's self-tests can shrink the window when exercising
+// deliberately wedged locks.
+var harnessDeadline = 2 * time.Minute
 
 // awaitWorkers waits for wg within harnessDeadline and fails the test
 // with what on expiry.
-func awaitWorkers(t *testing.T, wg *sync.WaitGroup, what string) {
+func awaitWorkers(t TB, wg *sync.WaitGroup, what string) {
 	t.Helper()
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
@@ -60,7 +75,7 @@ func awaitWorkers(t *testing.T, wg *sync.WaitGroup, what string) {
 // acquire m iters times around a shared critical section. It fails the
 // test on any exclusion violation or lost update, and on a run that
 // outlives the harness deadline (deadlock, lost wakeup, starvation).
-func CheckMutex(t *testing.T, topo *numa.Topology, m locks.Mutex, procs, iters int) {
+func CheckMutex(t TB, topo *numa.Topology, m locks.Mutex, procs, iters int) {
 	t.Helper()
 	if procs > topo.MaxProcs() {
 		t.Fatalf("locktest: %d procs exceeds topology max %d", procs, topo.MaxProcs())
@@ -96,7 +111,7 @@ func CheckMutex(t *testing.T, topo *numa.Topology, m locks.Mutex, procs, iters i
 // verifies exclusion, that the shared counter equals the number of
 // successful acquisitions, and that at least one attempt succeeded.
 // It returns (successes, aborts) so callers can assert on abort rates.
-func CheckTryMutex(t *testing.T, topo *numa.Topology, m locks.TryMutex, procs, iters int, patience time.Duration) (successes, aborts int64) {
+func CheckTryMutex(t TB, topo *numa.Topology, m locks.TryMutex, procs, iters int, patience time.Duration) (successes, aborts int64) {
 	t.Helper()
 	if procs > topo.MaxProcs() {
 		t.Fatalf("locktest: %d procs exceeds topology max %d", procs, topo.MaxProcs())
@@ -144,7 +159,7 @@ func CheckTryMutex(t *testing.T, topo *numa.Topology, m locks.TryMutex, procs, i
 // failure. Quotas rather than a wall-clock window keep the check
 // independent of scheduler timing (GOMAXPROCS=1 under -race
 // legitimately runs workers very unevenly over short windows).
-func CheckFairness(t *testing.T, topo *numa.Topology, m locks.Mutex, procs, iters int) {
+func CheckFairness(t TB, topo *numa.Topology, m locks.Mutex, procs, iters int) {
 	t.Helper()
 	if procs > topo.MaxProcs() {
 		t.Fatalf("locktest: %d procs exceeds topology max %d", procs, topo.MaxProcs())
@@ -197,7 +212,7 @@ func CheckFairness(t *testing.T, topo *numa.Topology, m locks.Mutex, procs, iter
 //
 // readers and writers are goroutine counts; procs are assigned
 // readers-first so readers land on distinct clusters.
-func CheckRW(t *testing.T, topo *numa.Topology, l locks.RWMutex, readers, writers, iters int) {
+func CheckRW(t TB, topo *numa.Topology, l locks.RWMutex, readers, writers, iters int) {
 	t.Helper()
 	if readers+writers > topo.MaxProcs() {
 		t.Fatalf("locktest: %d workers exceeds topology max %d", readers+writers, topo.MaxProcs())
@@ -292,10 +307,71 @@ func CheckRW(t *testing.T, topo *numa.Topology, l locks.RWMutex, readers, writer
 	}
 }
 
+// CheckExec stress-tests a delegated-execution combiner
+// (locks.Executor): procs goroutines each submit iters closures
+// through Exec. Deadline-guarded like the other harnesses, it
+// verifies:
+//
+//   - Mutual exclusion of closures: no two posted closures run
+//     concurrently, even when a combiner executes other procs'
+//     closures on its own thread (the same torn-counter shared state
+//     as CheckMutex, so an overlap is also a data race under -race).
+//   - No lost or double-run ops: Exec must return only after its own
+//     closure ran exactly once. The per-call run counter is written
+//     inside the closure and read after Exec returns, so an executor
+//     whose completion signal does not happen-after the closure is
+//     also a data race.
+//   - No lost updates overall: the shared counters equal the total
+//     number of submitted closures.
+func CheckExec(t TB, topo *numa.Topology, x locks.Executor, procs, iters int) {
+	t.Helper()
+	if procs > topo.MaxProcs() {
+		t.Fatalf("locktest: %d procs exceeds topology max %d", procs, topo.MaxProcs())
+	}
+	spin.AutoOversubscribe(procs)
+	var s shared
+	var lost, doubled atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := topo.Proc(id)
+			for k := 0; k < iters; k++ {
+				runs := 0
+				x.Exec(p, func() {
+					runs++
+					s.enter()
+				})
+				switch {
+				case runs == 0:
+					lost.Add(1)
+				case runs > 1:
+					doubled.Add(1)
+				}
+			}
+		}(i)
+	}
+	awaitWorkers(t, &wg, "exec workers never finished: combiner deadlock, lost wakeup or starvation")
+	if v := lost.Load(); v != 0 {
+		t.Fatalf("%d closures were lost (Exec returned before running them)", v)
+	}
+	if v := doubled.Load(); v != 0 {
+		t.Fatalf("%d closures ran more than once", v)
+	}
+	if v := s.violations.Load(); v != 0 {
+		t.Fatalf("closure mutual exclusion violated %d times", v)
+	}
+	want := int64(procs * iters)
+	if s.a != want || s.b != want {
+		t.Fatalf("lost updates: counters (%d,%d), want %d", s.a, s.b, want)
+	}
+}
+
 // CheckHandoff verifies a lock hands over between two specific procs
 // repeatedly without losing progress: proc 0 and proc 1 alternate via
 // the lock, each completing iters sections within the deadline.
-func CheckHandoff(t *testing.T, topo *numa.Topology, m locks.Mutex, iters int) {
+func CheckHandoff(t TB, topo *numa.Topology, m locks.Mutex, iters int) {
 	t.Helper()
 	spin.AutoOversubscribe(2)
 	done := make(chan struct{}, 2)

@@ -1,0 +1,250 @@
+package locktest
+
+// The harnesses are load-bearing CI gates: the registry round-trip
+// test pushes every registered lock through them, so a harness that
+// silently passes broken locks voids the whole suite. These tests
+// feed each harness a deliberately broken implementation and assert
+// it fails for exactly the advertised reason — and still passes a
+// known-good lock afterwards.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/locks"
+	"repro/internal/numa"
+)
+
+// recorder is the TB the self-tests hand to a harness: it records the
+// first fatal report and stops the harness goroutine exactly as
+// testing.T.Fatalf does.
+type recorder struct {
+	failed bool
+	msg    string
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Fatal(args ...any) { r.fail(fmt.Sprint(args...)) }
+
+func (r *recorder) Fatalf(format string, args ...any) { r.fail(fmt.Sprintf(format, args...)) }
+
+func (r *recorder) fail(msg string) {
+	r.failed = true
+	r.msg = msg
+	runtime.Goexit()
+}
+
+// expectFailure runs check against a recorder in its own goroutine
+// (so the recorder's Goexit lands somewhere safe) and returns the
+// recorded fatal message, failing t if the harness passed.
+func expectFailure(t *testing.T, what string, check func(tb TB)) string {
+	t.Helper()
+	r := &recorder{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		check(r)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Minute):
+		t.Fatalf("%s: harness wedged beyond its own deadline", what)
+	}
+	if !r.failed {
+		t.Fatalf("%s: harness passed a deliberately broken lock", what)
+	}
+	return r.msg
+}
+
+// withDeadline shrinks the harness deadline for tests whose broken
+// lock wedges on purpose. Tests in this package run sequentially, so
+// swapping the package variable is safe.
+func withDeadline(d time.Duration, f func()) {
+	old := harnessDeadline
+	harnessDeadline = d
+	defer func() { harnessDeadline = old }()
+	f()
+}
+
+// noopLock admits everyone: the canonical exclusion violation.
+type noopLock struct{}
+
+func (noopLock) Lock(p *numa.Proc)   {}
+func (noopLock) Unlock(p *numa.Proc) {}
+
+// blockLock never grants: the canonical deadlock. Waiters park on a
+// channel (rather than spin) so the leaked goroutines cost nothing.
+type blockLock struct {
+	ch chan struct{}
+}
+
+func newBlockLock() blockLock { return blockLock{ch: make(chan struct{})} }
+
+func (l blockLock) Lock(p *numa.Proc)   { <-l.ch }
+func (l blockLock) Unlock(p *numa.Proc) {}
+
+// starveLock serves only the aggressor procs (id < 2 on the 2-cluster
+// test topology) and wedges everyone else: starvation without an
+// exclusion violation.
+type starveLock struct {
+	mu    sync.Mutex
+	never chan struct{}
+}
+
+func newStarveLock() *starveLock { return &starveLock{never: make(chan struct{})} }
+
+func (l *starveLock) Lock(p *numa.Proc) {
+	if p.ID() >= 2 {
+		<-l.never
+	}
+	l.mu.Lock()
+}
+
+func (l *starveLock) Unlock(p *numa.Proc) { l.mu.Unlock() }
+
+// sloppyTry grants every TryLockFor without any exclusion.
+type sloppyTry struct{}
+
+func (sloppyTry) TryLockFor(p *numa.Proc, patience time.Duration) bool { return true }
+func (sloppyTry) Unlock(p *numa.Proc)                                  {}
+
+// dropExec returns without running the closure: a lost op.
+type dropExec struct{}
+
+func (dropExec) Exec(p *numa.Proc, fn func()) {}
+
+// doubleExec runs every closure twice (under a real lock, so the
+// failure is double-execution alone, race-detector clean).
+type doubleExec struct {
+	mu sync.Mutex
+}
+
+func (x *doubleExec) Exec(p *numa.Proc, fn func()) {
+	x.mu.Lock()
+	fn()
+	fn()
+	x.mu.Unlock()
+}
+
+// bareExec runs closures with no exclusion at all.
+type bareExec struct{}
+
+func (bareExec) Exec(p *numa.Proc, fn func()) { fn() }
+
+// tornRW takes writers through a real mutex but lets readers straight
+// through: writer exclusion holds, snapshots tear.
+type tornRW struct {
+	mu sync.Mutex
+}
+
+func (l *tornRW) Lock(p *numa.Proc)    { l.mu.Lock() }
+func (l *tornRW) Unlock(p *numa.Proc)  { l.mu.Unlock() }
+func (l *tornRW) RLock(p *numa.Proc)   {}
+func (l *tornRW) RUnlock(p *numa.Proc) {}
+
+func testTopo() *numa.Topology { return numa.New(2, 8) }
+
+// needsViolationObservation skips tests whose broken lock can only be
+// caught in the act: under -race the violation is (by design) a data
+// race the detector reports first, and without at least two truly
+// concurrent processors the tight harness loops never interleave
+// mid-critical-section, so even a no-op lock runs cleanly.
+func needsViolationObservation(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("a non-excluding lock is a data race by design; the detector fires before the harness")
+	}
+	if runtime.NumCPU() < 2 || runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("observing an exclusion violation needs two truly concurrent processors")
+	}
+}
+
+func TestCheckMutexCatchesExclusionViolation(t *testing.T) {
+	needsViolationObservation(t)
+	msg := expectFailure(t, "CheckMutex/noop", func(tb TB) {
+		CheckMutex(tb, testTopo(), noopLock{}, 8, 20_000)
+	})
+	if !strings.Contains(msg, "violated") && !strings.Contains(msg, "lost updates") {
+		t.Errorf("unexpected failure message: %q", msg)
+	}
+}
+
+func TestCheckMutexCatchesDeadlock(t *testing.T) {
+	withDeadline(300*time.Millisecond, func() {
+		msg := expectFailure(t, "CheckMutex/deadlock", func(tb TB) {
+			CheckMutex(tb, testTopo(), newBlockLock(), 4, 10)
+		})
+		if !strings.Contains(msg, "never finished") {
+			t.Errorf("unexpected failure message: %q", msg)
+		}
+	})
+}
+
+func TestCheckTryMutexCatchesViolation(t *testing.T) {
+	needsViolationObservation(t)
+	expectFailure(t, "CheckTryMutex/sloppy", func(tb TB) {
+		CheckTryMutex(tb, testTopo(), sloppyTry{}, 8, 20_000, time.Millisecond)
+	})
+}
+
+func TestCheckFairnessCatchesStarvation(t *testing.T) {
+	withDeadline(300*time.Millisecond, func() {
+		msg := expectFailure(t, "CheckFairness/starve", func(tb TB) {
+			CheckFairness(tb, testTopo(), newStarveLock(), 6, 10)
+		})
+		if !strings.Contains(msg, "fairness deadline") {
+			t.Errorf("unexpected failure message: %q", msg)
+		}
+	})
+}
+
+func TestCheckRWCatchesTornSnapshots(t *testing.T) {
+	needsViolationObservation(t)
+	msg := expectFailure(t, "CheckRW/torn", func(tb TB) {
+		CheckRW(tb, testTopo(), &tornRW{}, 4, 3, 20_000)
+	})
+	if !strings.Contains(msg, "torn") && !strings.Contains(msg, "could not hold shared mode") {
+		t.Errorf("unexpected failure message: %q", msg)
+	}
+}
+
+func TestCheckExecCatchesLostOps(t *testing.T) {
+	msg := expectFailure(t, "CheckExec/drop", func(tb TB) {
+		CheckExec(tb, testTopo(), dropExec{}, 4, 50)
+	})
+	if !strings.Contains(msg, "lost") {
+		t.Errorf("unexpected failure message: %q", msg)
+	}
+}
+
+func TestCheckExecCatchesDoubleRuns(t *testing.T) {
+	msg := expectFailure(t, "CheckExec/double", func(tb TB) {
+		CheckExec(tb, testTopo(), &doubleExec{}, 4, 50)
+	})
+	if !strings.Contains(msg, "more than once") {
+		t.Errorf("unexpected failure message: %q", msg)
+	}
+}
+
+func TestCheckExecCatchesExclusionViolation(t *testing.T) {
+	needsViolationObservation(t)
+	expectFailure(t, "CheckExec/bare", func(tb TB) {
+		CheckExec(tb, testTopo(), bareExec{}, 8, 20_000)
+	})
+}
+
+func TestHarnessesPassCorrectImplementations(t *testing.T) {
+	// Positive control: the same harnesses must accept known-good
+	// implementations, or the failure tests above prove nothing.
+	topo := testTopo()
+	CheckMutex(t, topo, locks.NewMCS(topo), 8, 100)
+	CheckFairness(t, topo, locks.NewMCS(topo), 6, 50)
+	CheckRW(t, topo, locks.NewRWPerCluster(topo, locks.NewMCS(topo)), 4, 2, 100)
+	CheckExec(t, topo, locks.ExecFromMutex(locks.NewMCS(topo)), 8, 100)
+	CheckExec(t, topo, locks.NewCombining(topo, locks.NewMCS(topo)), 8, 100)
+}

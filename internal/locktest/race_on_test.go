@@ -1,0 +1,10 @@
+//go:build race
+
+package locktest
+
+// raceEnabled reports whether the race detector is compiled in. The
+// self-tests that hand the harnesses genuinely non-excluding locks
+// skip under -race: the exclusion violation they assert on is, by
+// design, also a data race, and the detector would fail the run
+// before the harness gets to report it.
+const raceEnabled = true

@@ -79,6 +79,38 @@ func TestFactoryNilForMissingInterface(t *testing.T) {
 		if e.NewTry == nil && e.TryFactory(topo) != nil {
 			t.Errorf("%s: TryFactory non-nil without NewTry", e.Name)
 		}
+		if e.NewMutex == nil && e.NewExec == nil && e.ExecFactory(topo) != nil {
+			t.Errorf("%s: ExecFactory non-nil without NewMutex or NewExec", e.Name)
+		}
+	}
+}
+
+func TestExecFactoriesRepeatable(t *testing.T) {
+	// The batched kvstore builds one executor per shard; instances must
+	// be distinct and independent, combining and adapted alike.
+	topo := numa.New(4, 4)
+	p := topo.Proc(0)
+	for _, name := range []string{"comb-c-bo-mcs", "comb-mcs", "mcs"} {
+		e := MustLookup(name)
+		f := e.ExecFactory(topo)
+		if f == nil {
+			t.Errorf("%s: nil ExecFactory", name)
+			continue
+		}
+		a, b := f(), f()
+		if a == b {
+			t.Errorf("%s: exec factory returned the same instance twice", name)
+			continue
+		}
+		// Nested Exec across *distinct* instances must not deadlock —
+		// shared state between them would.
+		ran := false
+		a.Exec(p, func() {
+			b.Exec(p, func() { ran = true })
+		})
+		if !ran {
+			t.Errorf("%s: closure through two independent executors never ran", name)
+		}
 	}
 }
 

@@ -27,6 +27,15 @@ type Entry struct {
 	// concurrent readers); nil for exclusive-only locks. Exclusive
 	// entries still adapt to the RW interface through RWFactory.
 	NewRW func(topo *numa.Topology) locks.RWMutex
+	// NewExec builds a genuinely combining executor (delegated batches,
+	// one underlying acquisition per batch); nil for plain locks, which
+	// still adapt to the Executor interface through ExecFactory. Set on
+	// the derived comb-* entries.
+	NewExec func(topo *numa.Topology) locks.Executor
+	// Base names the entry a derived construction wraps ("" for primary
+	// entries); tools use it to interpose measurement — e.g. an
+	// acquisition counter — on the underlying lock of a comb-* entry.
+	Base string
 	// Cohort marks the paper's contributed locks.
 	Cohort bool
 	// Extension marks locks beyond the paper's evaluation set (enabled
@@ -144,6 +153,33 @@ var entries = []Entry{
 	},
 }
 
+// init derives a comb-<name> entry for every blocking lock: the same
+// construction wrapped in the combining executor, so every lock in the
+// registry — cohort, CNA, GCR, rw-* — is also available as a combining
+// lock. Derived entries are exec-only (a combining lock cannot expose
+// Lock/Unlock: the critical section is delegated, never held by the
+// caller) and point back at their base entry for tools that interpose
+// on the underlying lock.
+func init() {
+	base := make([]Entry, len(entries))
+	copy(base, entries)
+	for _, e := range base {
+		if e.NewMutex == nil {
+			continue
+		}
+		newMutex := e.NewMutex
+		entries = append(entries, Entry{
+			Name:      "comb-" + e.Name,
+			Desc:      "combining executor over " + e.Name + ": delegated same-cluster batches, one acquisition per batch",
+			Base:      e.Name,
+			Extension: true,
+			NewExec: func(t *numa.Topology) locks.Executor {
+				return locks.NewCombining(t, newMutex(t))
+			},
+		})
+	}
+}
+
 // MutexFactory returns a factory that builds independent blocking
 // instances of this lock for topo, or nil if the entry is not
 // blocking. The factory is safe to call any number of times; every
@@ -180,6 +216,23 @@ func (e Entry) RWFactory(topo *numa.Topology) func() locks.RWMutex {
 		return nil
 	}
 	return func() locks.RWMutex { return locks.RWFromMutex(e.NewMutex(topo)) }
+}
+
+// ExecFactory returns a factory building independent executors of this
+// lock for topo, or nil if the entry cannot execute closures at all.
+// comb-* entries yield genuinely combining executors (NewExec);
+// plain blocking entries adapt through locks.ExecFromMutex — correct,
+// one acquisition per closure — so every lock in the registry slots
+// into an executor-shaped consumer (locks.Combines reports which case
+// was built).
+func (e Entry) ExecFactory(topo *numa.Topology) func() locks.Executor {
+	if e.NewExec != nil {
+		return func() locks.Executor { return e.NewExec(topo) }
+	}
+	if e.NewMutex == nil {
+		return nil
+	}
+	return func() locks.Executor { return locks.ExecFromMutex(e.NewMutex(topo)) }
 }
 
 // BuildMutexes constructs n independent blocking instances of this
@@ -350,6 +403,27 @@ func RW() []Entry {
 func RWNames() []string {
 	var out []string
 	for _, e := range RW() {
+		out = append(out, e.Name)
+	}
+	return out
+}
+
+// Combining returns the derived comb-* entries (genuinely combining
+// executors), in order.
+func Combining() []Entry {
+	var out []Entry
+	for _, e := range entries {
+		if e.NewExec != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CombiningNames lists the comb-* entry names, in presentation order.
+func CombiningNames() []string {
+	var out []string
+	for _, e := range Combining() {
 		out = append(out, e.Name)
 	}
 	return out

@@ -10,7 +10,7 @@ import (
 func TestAllEntriesBuildable(t *testing.T) {
 	topo := numa.New(4, 8)
 	for _, e := range All() {
-		if e.NewMutex == nil && e.NewTry == nil {
+		if e.NewMutex == nil && e.NewTry == nil && e.NewExec == nil {
 			t.Errorf("%s: no factory at all", e.Name)
 		}
 		if e.NewMutex != nil {
@@ -23,8 +23,44 @@ func TestAllEntriesBuildable(t *testing.T) {
 				t.Errorf("%s: NewTry returned nil", e.Name)
 			}
 		}
+		if e.NewExec != nil {
+			if x := e.NewExec(topo); x == nil {
+				t.Errorf("%s: NewExec returned nil", e.Name)
+			}
+		}
 		if e.Desc == "" {
 			t.Errorf("%s: missing description", e.Name)
+		}
+	}
+}
+
+func TestCombiningEntriesDerived(t *testing.T) {
+	// Every blocking lock must have a comb-* twin, and every comb-*
+	// entry must point back at a blocking base.
+	byName := map[string]Entry{}
+	for _, e := range All() {
+		byName[e.Name] = e
+	}
+	for _, e := range All() {
+		if e.NewMutex == nil {
+			continue
+		}
+		comb, ok := byName["comb-"+e.Name]
+		if !ok {
+			t.Errorf("blocking lock %s has no comb-%s entry", e.Name, e.Name)
+			continue
+		}
+		if comb.NewExec == nil || comb.Base != e.Name || !comb.Extension {
+			t.Errorf("comb-%s: want NewExec set, Base=%q, Extension", e.Name, e.Name)
+		}
+		if comb.NewMutex != nil || comb.NewTry != nil || comb.NewRW != nil {
+			t.Errorf("comb-%s: derived entries are exec-only", e.Name)
+		}
+	}
+	for _, e := range Combining() {
+		base, ok := byName[e.Base]
+		if !ok || base.NewMutex == nil {
+			t.Errorf("%s: Base %q is not a blocking entry", e.Name, e.Base)
 		}
 	}
 }

@@ -76,6 +76,46 @@ func TestRWFactoryAdaptsExclusiveEntries(t *testing.T) {
 	}
 }
 
+// TestEveryExecEntryPassesLocktest round-trips every derived comb-*
+// factory through locktest.CheckExec: closure mutual exclusion, no
+// lost or double-run ops, deadline-guarded — automatically for any
+// future blocking registration (each gains a comb-* twin).
+func TestEveryExecEntryPassesLocktest(t *testing.T) {
+	for _, e := range All() {
+		if e.NewExec == nil {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			topo := numa.New(2, 8)
+			locktest.CheckExec(t, topo, e.NewExec(topo), 8, 150)
+		})
+	}
+}
+
+// TestExecFactoryAdaptsMutexEntries verifies the degradation path: a
+// plain blocking entry still yields a correct Executor through
+// ExecFactory (one acquisition per closure), and reports itself as
+// non-combining.
+func TestExecFactoryAdaptsMutexEntries(t *testing.T) {
+	for _, name := range []string{"mcs", "c-bo-mcs", "pthread"} {
+		e := MustLookup(name)
+		t.Run(name, func(t *testing.T) {
+			topo := numa.New(2, 8)
+			x := e.ExecFactory(topo)()
+			if locks.Combines(x) {
+				t.Fatalf("%s adapts through ExecFromMutex but claims to combine", name)
+			}
+			locktest.CheckExec(t, topo, x, 8, 150)
+		})
+	}
+	for _, name := range []string{"comb-mcs", "comb-c-bo-mcs"} {
+		if x := MustLookup(name).ExecFactory(numa.New(2, 4))(); !locks.Combines(x) {
+			t.Fatalf("%s does not claim to combine", name)
+		}
+	}
+}
+
 // TestNewLocksSatisfyFairnessHarness runs the extension locks through
 // the starvation check: every proc must complete its quota despite
 // CNA's deferral and GCR's admission throttling.

@@ -304,34 +304,96 @@ func execTrialOpsPerSec(topo *numa.Topology, x locks.Executor, threads int) floa
 	return float64(ops.Load()) / trialWindow.Seconds()
 }
 
-// BenchmarkCombining races each headline lock's combining executor
-// against the same lock driven one-acquisition-per-op
-// (ExecFromMutex), at the high-contention point — the delegated-
-// execution analogue of Figure 2.
+// BenchmarkCombining races each headline lock's combining executors —
+// fixed-constant (comb) and load-adaptive (comb-a) — against the same
+// lock driven one-acquisition-per-op (ExecFromMutex), at the
+// high-contention point: the delegated-execution analogue of Figure 2.
+// Every variant's underlying lock carries an acquisition counter, so
+// alongside throughput each sub-benchmark reports measured
+// ops-per-acquisition — the amortization the adaptive policy must meet
+// or beat (direct is definitionally 1.0).
 func BenchmarkCombining(b *testing.B) {
 	threads := contendedThreads()
 	for _, name := range []string{"mcs", "c-bo-mcs", "cna"} {
-		for _, comb := range []bool{false, true} {
-			bname := name + "/direct"
-			if comb {
-				bname = name + "/comb"
-			}
-			b.Run(bname, func(b *testing.B) {
+		for _, variant := range []string{"direct", "comb", "comb-a"} {
+			b.Run(name+"/"+variant, func(b *testing.B) {
 				e := registry.MustLookup(name)
 				topo := numa.New(4, threads)
-				var sum float64
+				var sum, amort float64
 				for i := 0; i < b.N; i++ {
+					var acq atomic.Uint64
+					inner := locks.CountAcquisitions(e.NewMutex(topo), &acq)
 					var x locks.Executor
-					if comb {
-						x = locks.NewCombining(topo, e.NewMutex(topo))
-					} else {
-						x = locks.ExecFromMutex(e.NewMutex(topo))
+					switch variant {
+					case "comb":
+						x = locks.NewCombining(topo, inner)
+					case "comb-a":
+						x = locks.NewCombiningAdaptive(topo, inner)
+					default:
+						x = locks.ExecFromMutex(inner)
 					}
-					sum += execTrialOpsPerSec(topo, x, threads)
+					rate := execTrialOpsPerSec(topo, x, threads)
+					sum += rate
+					if n := acq.Load(); n > 0 {
+						amort += rate * trialWindow.Seconds() / float64(n)
+					}
 				}
 				b.ReportMetric(sum/float64(b.N), "ops/s")
+				b.ReportMetric(amort/float64(b.N), "ops/acq")
 			})
 		}
+	}
+}
+
+// BenchmarkSharedBatchedReads measures the composition of the two
+// read-side amortization machines end to end: a read-mostly batched
+// pipeline (99% gets, 16-key client batches) against a sharded store
+// under the reader-writer cohort lock, with MGet chunks answered in
+// shared mode vs the same construction driven through its exclusive
+// path. Shared chunks cost one RLock each and coexist across clusters;
+// exclusive chunks serialize — the gap is what the shared-mode group
+// path buys.
+func BenchmarkSharedBatchedReads(b *testing.B) {
+	threads := contendedThreads()
+	e := registry.MustLookup("rw-c-bo-mcs")
+	const keyspace = 20_000
+	for _, c := range []struct {
+		name   string
+		shared bool
+	}{
+		{"shared", true},
+		{"exclusive", false},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			topo := numa.New(4, threads)
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				f := e.RWFactory(topo)
+				if !c.shared {
+					inner := f
+					f = func() locks.RWMutex { return locks.RWFromMutex(inner()) }
+				}
+				store := kvstore.New(kvstore.Config{
+					Topo:      topo,
+					NewRWLock: f,
+					Shards:    4,
+					MaxBatch:  16,
+					Capacity:  keyspace * 2,
+				})
+				kvload.PopulateClusters(store, topo, keyspace, 128)
+				lcfg := kvload.DefaultConfig(topo, threads, 99)
+				lcfg.Duration = trialWindow
+				lcfg.Keyspace = keyspace
+				lcfg.ReadFraction = 0.99
+				lcfg.BatchSize = 16
+				res, err := kvload.Run(lcfg, store)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += res.Throughput()
+			}
+			b.ReportMetric(sum/float64(b.N), "ops/s")
+		})
 	}
 }
 

@@ -29,9 +29,27 @@
 // speedup table an ops-per-acquisition table shows how much work each
 // lock amortizes per critical section. comb-* columns (the combining
 // executor over the base lock) batch across procs on top of the batch
-// APIs' per-call grouping; plain columns amortize only within each
-// call. comb-* names are also valid in the standard tables, where
-// they run the single-op path through delegated execution.
+// APIs' per-call grouping; comb-a-* columns run the load-adaptive
+// combiner; rw-* columns run MGet chunks in shared mode; plain columns
+// amortize only within each call. comb-* and comb-a-* names are also
+// valid in the standard tables, where they run the single-op path
+// through delegated execution.
+//
+// -adaptive emits the adaptive-hot-path exhibit: per shard count,
+// (1) fixed vs adaptive combining columns (comb-<l> / comb-a-<l>) with
+// speedup and ops-per-acquisition tables, (2) shared vs exclusive
+// batched MGet columns for the reader-writer family at a read-mostly
+// mix, and (3) a fixed vs adaptive client batch pair (kvload's
+// hill-climbing batch sizer against the same ceiling). The tables run
+// at one get/set mix — an explicit single -mix, or 50% when -mix is
+// left at "all". JSON records carry the new knobs (combiner,
+// batch_mode, avg_batch).
+//
+// -compare old.json new.json leaves measurement entirely: it diffs two
+// kvbench JSON envelopes (the -json output, CI's uploaded artifact)
+// cell by cell through internal/benchfmt and exits nonzero when any
+// matching cell's throughput regressed by more than
+// -regress-threshold — the perf-trajectory gate.
 package main
 
 import (
@@ -63,6 +81,7 @@ type options struct {
 	affinity  float64
 	reads     float64
 	batch     int
+	adaptive  bool
 	placement kvstore.Placement
 	csv       bool
 	jsonOut   bool
@@ -88,6 +107,15 @@ type record struct {
 	// underlying lock amortized.
 	Batch     int     `json:"batch,omitempty"`
 	OpsPerAcq float64 `json:"ops_per_acq,omitempty"`
+	// Combiner distinguishes the combining policy of -adaptive runs'
+	// executor columns: "fixed" (comb-*) or "adaptive" (comb-a-*).
+	Combiner string `json:"combiner,omitempty"`
+	// BatchMode is the client batching policy of -adaptive runs'
+	// pipeline pair: "fixed" issues Batch keys every round, "adaptive"
+	// hill-climbs within [1,Batch]; AvgBatch is the average batch the
+	// adaptive client actually issued.
+	BatchMode string  `json:"batch_mode,omitempty"`
+	AvgBatch  float64 `json:"avg_batch,omitempty"`
 }
 
 func main() {
@@ -100,6 +128,9 @@ func main() {
 		affinityFlag  = flag.Float64("affinity", 0, "probability a worker's keys target its own cluster's shards [0,1]")
 		readsFlag     = flag.Float64("reads", 0, "read fraction for the RW read-path table (e.g. 0.99); >0 replaces -mix and compares shared vs exclusive Gets")
 		batchFlag     = flag.Int("batch", 0, "batch size for the batched-pipeline table (e.g. 16); >0 drives MGet/MSet batches and adds an ops-per-acquisition table")
+		adaptiveFlag  = flag.Bool("adaptive", false, "emit the adaptive-hot-path tables: fixed vs adaptive combining, shared vs exclusive batched MGet, fixed vs adaptive client batch (one mix: -mix, defaulting to 50)")
+		compareFlag   = flag.Bool("compare", false, "compare two kvbench JSON envelopes (args: old.json new.json) and exit nonzero on throughput regressions")
+		regressFlag   = flag.Float64("regress-threshold", benchfmt.DefaultRegressionThreshold, "fractional ops/s drop -compare flags as a regression")
 		clustersFlag  = flag.Int("clusters", 4, "NUMA clusters to simulate")
 		durationFlag  = flag.Duration("duration", 300*time.Millisecond, "measurement window per cell")
 		keysFlag      = flag.Uint64("keys", 50_000, "distinct keys (pre-populated)")
@@ -108,6 +139,14 @@ func main() {
 	)
 	flag.Parse()
 
+	if *compareFlag {
+		if flag.NArg() != 2 {
+			fmt.Fprintf(os.Stderr, "kvbench: -compare takes exactly two arguments: old.json new.json\n")
+			os.Exit(2)
+		}
+		os.Exit(compareEnvelopes(flag.Arg(0), flag.Arg(1), *regressFlag))
+	}
+
 	opt := options{
 		clusters: *clustersFlag,
 		duration: *durationFlag,
@@ -115,6 +154,7 @@ func main() {
 		affinity: *affinityFlag,
 		reads:    *readsFlag,
 		batch:    *batchFlag,
+		adaptive: *adaptiveFlag,
 		csv:      *csvFlag,
 		jsonOut:  *jsonFlag,
 		locks:    cli.ParseNameList(*locksFlag),
@@ -157,16 +197,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kvbench: negative -batch %d\n", opt.batch)
 		os.Exit(2)
 	}
-	if opt.batch > 0 && opt.reads > 0 {
-		fmt.Fprintf(os.Stderr, "kvbench: -batch and -reads select different tables; pick one\n")
+	if opt.batch > 0 && opt.reads > 0 && !opt.adaptive {
+		fmt.Fprintf(os.Stderr, "kvbench: -batch and -reads select different tables; pick one (or -adaptive, which uses both)\n")
 		os.Exit(2)
 	}
-	if opt.batch > 0 && opt.affinity > 0 {
-		fmt.Fprintf(os.Stderr, "kvbench: -affinity is a per-operation knob; unsupported with -batch\n")
+	if (opt.batch > 0 || opt.adaptive) && opt.affinity > 0 {
+		fmt.Fprintf(os.Stderr, "kvbench: -affinity is a per-operation knob; unsupported with batched pipelines\n")
 		os.Exit(2)
+	}
+	if opt.adaptive {
+		// The adaptive tables pick their own defaults for the knobs the
+		// user left unset: a 16-key pipeline and a 90% read mix. The
+		// client-batch table needs a ceiling the sizer can move within,
+		// so a degenerate pipeline is rejected up front rather than
+		// after the first tables have already burned their windows.
+		if opt.batch == 0 {
+			opt.batch = 16
+		}
+		if opt.batch < 2 {
+			fmt.Fprintf(os.Stderr, "kvbench: -adaptive needs -batch > 1 (the adaptive client sizes batches within [1,batch])\n")
+			os.Exit(2)
+		}
+		if opt.reads == 0 {
+			opt.reads = 0.9
+		}
+		// The adaptive tables run at a single mix; the -mix=all default
+		// would silently mean "just the first", so it resolves to the
+		// mixed workload instead. An explicit single -mix is honored.
+		if *mixFlag == "all" {
+			opt.mixes = []int{50}
+		}
 	}
 	if len(opt.locks) == 0 {
-		if opt.batch > 0 {
+		if opt.adaptive {
+			// Base locks whose comb-/comb-a- twins the combining tables
+			// race; the shared-read table uses the rw-* family.
+			opt.locks = []string{"mcs", "c-bo-mcs", "cna"}
+		} else if opt.batch > 0 {
 			// The batched table races each headline lock against its
 			// combining twin, so amortization-from-batching and
 			// amortization-from-combining land side by side.
@@ -207,6 +274,12 @@ func run(opt options) error {
 
 	var records []record
 	switch {
+	case opt.adaptive:
+		recs, err := runAdaptive(opt, topo)
+		if err != nil {
+			return err
+		}
+		records = recs
 	case opt.reads > 0:
 		recs, err := runRW(opt, topo)
 		if err != nil {
@@ -291,7 +364,11 @@ func newStoreRW(opt options, topo *numa.Topology, e registry.Entry, shards int, 
 		inner := f
 		f = func() locks.RWMutex { return locks.RWFromMutex(inner()) }
 	}
-	cfg := kvstore.Config{Topo: topo}
+	// MaxBatch tracks the pipeline's batch size when one is set (the
+	// -adaptive shared-read table), so a shard group of a client batch
+	// is one critical section and the "batch=N" caption describes what
+	// actually ran; plain -reads runs keep the store default.
+	cfg := kvstore.Config{Topo: topo, MaxBatch: opt.batch}
 	if shards <= 1 {
 		cfg.RWLock = f()
 	} else {
@@ -305,8 +382,15 @@ func newStoreRW(opt options, topo *numa.Topology, e registry.Entry, shards int, 
 // batches of opt.batch against a fresh store whose every lock
 // instance carries an acquisition counter. Population acquisitions
 // are excluded; the returned amortization covers only the measured
-// window.
-func measureBatch(opt options, topo *numa.Topology, e registry.Entry, threads, getPct, shards int) (tp, opsPerAcq float64, err error) {
+// window. Combining entries (comb-*, comb-a-*) rebuild through
+// WrapExec so the counter sits between the combiner and the base lock
+// — a combined batch counts as the single acquisition it is; rw-*
+// entries count exclusive and shared acquisitions into the same total
+// and run MGet chunks through the shared-mode group path.
+// adaptiveClient runs kvload's hill-climbing batch sizer against the
+// opt.batch ceiling instead of a fixed size; avgBatch reports what it
+// actually issued.
+func measureBatch(opt options, topo *numa.Topology, e registry.Entry, threads, getPct, shards int, adaptiveClient bool) (tp, opsPerAcq, avgBatch float64, err error) {
 	// Every shard's lock sums into one acquisition counter; under a
 	// comb-* column the counter sits between the combiner and the base
 	// lock, so combined batches count as the single acquisition they
@@ -315,12 +399,18 @@ func measureBatch(opt options, topo *numa.Topology, e registry.Entry, threads, g
 	cfg := kvstore.Config{Topo: topo, MaxBatch: opt.batch}
 	switch {
 	case e.NewExec != nil:
-		// Derived combining entry: rebuild it by hand to interpose the
+		// Derived combining entry: rebuild it through WrapExec (the
+		// entry's own construction, fixed or adaptive) to interpose the
 		// counter on the base lock.
 		base := registry.MustLookup(e.Base)
 		newMutex := base.MutexFactory(topo)
 		cfg.NewExec = func() locks.Executor {
-			return locks.NewCombining(topo, locks.CountAcquisitions(newMutex(), &acquisitions))
+			return e.WrapExec(topo, locks.CountAcquisitions(newMutex(), &acquisitions))
+		}
+	case e.NewRW != nil:
+		newRW := e.NewRW
+		cfg.NewRWLock = func() locks.RWMutex {
+			return locks.CountRWAcquisitions(newRW(topo), &acquisitions, &acquisitions)
 		}
 	case e.NewMutex != nil:
 		newMutex := e.MutexFactory(topo)
@@ -328,7 +418,7 @@ func measureBatch(opt options, topo *numa.Topology, e registry.Entry, threads, g
 			return locks.CountAcquisitions(newMutex(), &acquisitions)
 		}
 	default:
-		return 0, 0, fmt.Errorf("lock %q cannot guard the store", e.Name)
+		return 0, 0, 0, fmt.Errorf("lock %q cannot guard the store", e.Name)
 	}
 	if shards > 1 {
 		sizeShards(&cfg, opt, topo, shards)
@@ -341,21 +431,22 @@ func measureBatch(opt options, topo *numa.Topology, e registry.Entry, threads, g
 	lcfg.Duration = opt.duration
 	lcfg.Keyspace = opt.keyspace
 	lcfg.BatchSize = opt.batch
+	lcfg.BatchAdaptive = adaptiveClient
 	res, err := kvload.Run(lcfg, store)
 	if err != nil {
-		return 0, 0, fmt.Errorf("%s @%d x%d shards (batch=%d): %w", e.Name, threads, shards, opt.batch, err)
+		return 0, 0, 0, fmt.Errorf("%s @%d x%d shards (batch=%d): %w", e.Name, threads, shards, opt.batch, err)
 	}
 	if acq := acquisitions.Load() - before; acq > 0 {
 		opsPerAcq = float64(res.Ops) / float64(acq)
 	}
-	return res.Throughput(), opsPerAcq, nil
+	return res.Throughput(), opsPerAcq, res.AvgBatch(), nil
 }
 
 // runBatchMix emits the batched-pipeline tables for one mix: per
 // shard count, a speedup table (normalized to batched pthread@1 on
 // one shard) and an ops-per-acquisition table over the same cells.
 func runBatchMix(opt options, topo *numa.Topology, getPct int) ([]record, error) {
-	base, _, err := measureBatch(opt, topo, registry.MustLookup("pthread"), 1, getPct, 1)
+	base, _, _, err := measureBatch(opt, topo, registry.MustLookup("pthread"), 1, getPct, 1, false)
 	if err != nil {
 		return nil, err
 	}
@@ -367,7 +458,7 @@ func runBatchMix(opt options, topo *numa.Topology, getPct int) ([]record, error)
 		if err != nil {
 			return nil, err
 		}
-		if e.NewMutex == nil && e.NewExec == nil {
+		if e.NewMutex == nil && e.NewExec == nil && e.NewRW == nil {
 			return nil, fmt.Errorf("lock %q is abortable-only and cannot guard the store", name)
 		}
 		entries = append(entries, e)
@@ -389,7 +480,7 @@ func runBatchMix(opt options, topo *numa.Topology, getPct int) ([]record, error)
 			row := []string{fmt.Sprint(n)}
 			amortRow := []string{fmt.Sprint(n)}
 			for _, e := range entries {
-				tp, opsPerAcq, err := measureBatch(opt, topo, e, n, getPct, shards)
+				tp, opsPerAcq, _, err := measureBatch(opt, topo, e, n, getPct, shards, false)
 				if err != nil {
 					return nil, err
 				}
@@ -421,6 +512,204 @@ func runBatchMix(opt options, topo *numa.Topology, getPct int) ([]record, error)
 	return records, nil
 }
 
+// compareEnvelopes is the -compare mode: diff two kvbench JSON
+// envelopes through benchfmt and report regressions. Returns the
+// process exit code: 0 clean, 1 regressions flagged, 2 operational
+// error.
+func compareEnvelopes(oldPath, newPath string, threshold float64) int {
+	oldJSON, err := os.ReadFile(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvbench: %v\n", err)
+		return 2
+	}
+	newJSON, err := os.ReadFile(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvbench: %v\n", err)
+		return 2
+	}
+	regs, compared, err := benchfmt.Diff(oldJSON, newJSON, threshold)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvbench: %v\n", err)
+		return 2
+	}
+	fmt.Printf("kvbench compare: %d matching cells, threshold %.0f%%: %d regression(s)\n",
+		compared, threshold*100, len(regs))
+	for _, r := range regs {
+		fmt.Println("  " + r.String())
+	}
+	if len(regs) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runAdaptive emits the adaptive-hot-path exhibit: per shard count,
+// fixed vs adaptive combining (speedup and ops-per-acquisition, the
+// comb-<l> / comb-a-<l> twins of each base lock), shared vs exclusive
+// batched MGet over the reader-writer family at the -reads fraction,
+// and a fixed vs adaptive client batch pair driving the first base
+// lock's adaptive combiner. Everything is normalized to the batched
+// pthread@1 single-shard baseline, like the -batch tables.
+func runAdaptive(opt options, topo *numa.Topology) ([]record, error) {
+	getPct := opt.mixes[0]
+	base, _, _, err := measureBatch(opt, topo, registry.MustLookup("pthread"), 1, getPct, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "adaptive batch=%d mix %d%% gets: pthread@1 baseline %.0f ops/s\n",
+		opt.batch, getPct, base)
+
+	// Resolve each named lock to its base entry (comb-*/comb-a-* names
+	// are accepted and stripped back), then to its two combining twins.
+	type pair struct {
+		fixed, adaptive registry.Entry
+	}
+	var pairs []pair
+	for _, name := range opt.locks {
+		e, err := registry.Find(name)
+		if err != nil {
+			return nil, err
+		}
+		if e.Base != "" {
+			e = registry.MustLookup(e.Base)
+		}
+		if e.NewMutex == nil {
+			return nil, fmt.Errorf("lock %q has no blocking face; the combining comparison needs a base lock", name)
+		}
+		pairs = append(pairs, pair{
+			fixed:    registry.MustLookup("comb-" + e.Name),
+			adaptive: registry.MustLookup("comb-a-" + e.Name),
+		})
+	}
+	rwEntries := registry.RW()
+
+	var records []record
+	for _, shards := range opt.shards {
+		placement := opt.placement.String()
+		if shards <= 1 {
+			placement = "single"
+		}
+		suffix := ""
+		if shards > 1 {
+			suffix = fmt.Sprintf(" [%d shards, %s placement]", shards, opt.placement)
+		}
+
+		// Table 1: fixed vs adaptive combining, speedup + ops/acq.
+		headers := []string{"threads"}
+		for _, pr := range pairs {
+			headers = append(headers, pr.fixed.Name, pr.adaptive.Name)
+		}
+		tb := stats.NewTable(fmt.Sprintf("Adaptive combining (batch=%d, %d%% gets): speedup over pthread@1%s", opt.batch, getPct, suffix), headers...)
+		ab := stats.NewTable(fmt.Sprintf("Adaptive combining (batch=%d, %d%% gets): ops per lock acquisition%s", opt.batch, getPct, suffix), headers...)
+		for _, n := range opt.threads {
+			row := []string{fmt.Sprint(n)}
+			amortRow := []string{fmt.Sprint(n)}
+			for _, pr := range pairs {
+				for ci, e := range []registry.Entry{pr.fixed, pr.adaptive} {
+					tp, opsPerAcq, _, err := measureBatch(opt, topo, e, n, getPct, shards, false)
+					if err != nil {
+						return nil, err
+					}
+					combiner := "fixed"
+					if ci == 1 {
+						combiner = "adaptive"
+					}
+					records = append(records, record{
+						Mix: getPct, Lock: e.Name, Threads: n, Shards: shards,
+						Placement: placement,
+						OpsPerSec: tp, Speedup: stats.Speedup(base, tp),
+						Batch: opt.batch, OpsPerAcq: opsPerAcq, Combiner: combiner,
+					})
+					row = append(row, stats.F(stats.Speedup(base, tp), 2))
+					amortRow = append(amortRow, stats.F(opsPerAcq, 1))
+					fmt.Fprintf(os.Stderr, "ran adaptive comb=%-8s %-20s threads=%-4d shards=%-3d %.0f ops/s %.1f ops/acq\n",
+						combiner, e.Name, n, shards, tp, opsPerAcq)
+				}
+			}
+			tb.AddRow(row...)
+			ab.AddRow(amortRow...)
+		}
+		if !opt.jsonOut {
+			fmt.Print(cli.Emit(tb, opt.csv))
+			fmt.Println()
+			fmt.Print(cli.Emit(ab, opt.csv))
+			fmt.Println()
+		}
+
+		// Table 2: shared vs exclusive batched MGet, rw-* family.
+		headers = []string{"threads"}
+		for _, e := range rwEntries {
+			headers = append(headers, e.Name, e.Name+"/x")
+		}
+		rb := stats.NewTable(fmt.Sprintf("Shared-mode batched reads (batch=%d, %.4g%% gets): speedup over pthread@1%s", opt.batch, opt.reads*100, suffix), headers...)
+		for _, n := range opt.threads {
+			row := []string{fmt.Sprint(n)}
+			for _, e := range rwEntries {
+				for _, sharedMode := range []bool{true, false} {
+					tp, err := measureRW(opt, topo, e, n, shards, sharedMode)
+					if err != nil {
+						return nil, err
+					}
+					path := "exclusive"
+					if sharedMode {
+						path = "shared"
+					}
+					records = append(records, record{
+						Mix: int(opt.reads*100 + 0.5), Lock: e.Name, Threads: n, Shards: shards,
+						Placement: placement,
+						OpsPerSec: tp, Speedup: stats.Speedup(base, tp),
+						Reads: opt.reads, ReadPath: path, Batch: opt.batch,
+					})
+					row = append(row, stats.F(stats.Speedup(base, tp), 2))
+					fmt.Fprintf(os.Stderr, "ran adaptive reads=%g %-14s %-9s threads=%-4d shards=%-3d %.0f ops/s\n",
+						opt.reads, e.Name, path, n, shards, tp)
+				}
+			}
+			rb.AddRow(row...)
+		}
+		if !opt.jsonOut {
+			fmt.Print(cli.Emit(rb, opt.csv))
+			fmt.Println()
+		}
+
+		// Table 3: fixed vs adaptive client batch, driving the first
+		// base lock's adaptive combiner — the whole adaptive hot path
+		// end to end.
+		clientLock := pairs[0].adaptive
+		cb := stats.NewTable(fmt.Sprintf("Adaptive client batch over %s (ceiling %d, %d%% gets): speedup over pthread@1%s", clientLock.Name, opt.batch, getPct, suffix),
+			"threads", fmt.Sprintf("fixed/b=%d", opt.batch), fmt.Sprintf("adaptive/b<=%d", opt.batch), "avg batch")
+		for _, n := range opt.threads {
+			row := []string{fmt.Sprint(n)}
+			var avg float64
+			for _, mode := range []string{"fixed", "adaptive"} {
+				tp, _, avgBatch, err := measureBatch(opt, topo, clientLock, n, getPct, shards, mode == "adaptive")
+				if err != nil {
+					return nil, err
+				}
+				records = append(records, record{
+					Mix: getPct, Lock: clientLock.Name, Threads: n, Shards: shards,
+					Placement: placement,
+					OpsPerSec: tp, Speedup: stats.Speedup(base, tp),
+					Batch: opt.batch, Combiner: "adaptive",
+					BatchMode: mode, AvgBatch: avgBatch,
+				})
+				row = append(row, stats.F(stats.Speedup(base, tp), 2))
+				if mode == "adaptive" {
+					avg = avgBatch
+				}
+				fmt.Fprintf(os.Stderr, "ran adaptive client=%-8s %-20s threads=%-4d shards=%-3d %.0f ops/s avg batch %.1f\n",
+					mode, clientLock.Name, n, shards, tp, avgBatch)
+			}
+			cb.AddRow(append(row, stats.F(avg, 1))...)
+		}
+		if !opt.jsonOut {
+			fmt.Print(cli.Emit(cb, opt.csv))
+			fmt.Println()
+		}
+	}
+	return records, nil
+}
+
 // measure runs one (lock, threads, mix, shards) cell against a fresh
 // store.
 func measure(opt options, topo *numa.Topology, lockName string, threads, getPct, shards int) (float64, error) {
@@ -446,7 +735,10 @@ func measure(opt options, topo *numa.Topology, lockName string, threads, getPct,
 }
 
 // measureRW runs one RW-table cell: the -reads fraction against a
-// fresh store whose Gets run shared or exclusive.
+// fresh store whose Gets — MGet chunks included — run shared or
+// exclusive. opt.batch > 0 (the -adaptive shared-read table) drives
+// the batched pipeline; plain -reads runs keep the per-op loop
+// (opt.batch is 0 there, and batching excludes affinity biasing).
 func measureRW(opt options, topo *numa.Topology, e registry.Entry, threads, shards int, shared bool) (float64, error) {
 	store := newStoreRW(opt, topo, e, shards, shared)
 	kvload.PopulateClusters(store, topo, opt.keyspace, 128)
@@ -456,9 +748,10 @@ func measureRW(opt options, topo *numa.Topology, e registry.Entry, threads, shar
 	cfg.Keyspace = opt.keyspace
 	cfg.Affinity = opt.affinity
 	cfg.ReadFraction = opt.reads
+	cfg.BatchSize = opt.batch
 	res, err := kvload.Run(cfg, store)
 	if err != nil {
-		return 0, fmt.Errorf("%s @%d x%d shards (reads=%g): %w", e.Name, threads, shards, opt.reads, err)
+		return 0, fmt.Errorf("%s @%d x%d shards (reads=%g batch=%d): %w", e.Name, threads, shards, opt.reads, opt.batch, err)
 	}
 	return res.Throughput(), nil
 }

@@ -14,7 +14,11 @@
 // over any writer lock so read-mostly workloads scale across clusters;
 // and combining execution (NewCombining), flat-combining-style
 // delegated critical sections that run same-cluster batches under a
-// single acquisition of any underlying lock.
+// single acquisition of any underlying lock — including a
+// load-adaptive variant (NewCombiningAdaptive) whose patience and
+// harvest depth track a per-cluster occupancy estimate, and a
+// shared-mode executor face (ExecFromRWLock) that batches read-only
+// sections under one shared acquisition.
 //
 // # Model
 //
@@ -292,6 +296,34 @@ func NewCombining(topo *Topology, underlying Lock) *CombiningLock {
 // degrades gracefully to the whole lock family.
 func ExecFromLock(m Lock) Executor { return locks.ExecFromMutex(m) }
 
+// AdaptiveCombiningLock is CombiningLock with the election patience
+// window and harvest pass count driven by a per-cluster occupancy
+// estimate (posted requests in flight) instead of fixed constants:
+// idle collapses to an eager one-pass bypass, contention grows both
+// knobs for longer locality-preserving batches. The estimate is
+// exposed through Occupancy / OccupancyEstimate.
+type AdaptiveCombiningLock = locks.CombiningAdaptive
+
+// NewCombiningAdaptive builds a load-adaptive combining executor over
+// a fresh underlying lock (the executor owns it; do not Lock/Unlock it
+// directly).
+func NewCombiningAdaptive(topo *Topology, underlying Lock) *AdaptiveCombiningLock {
+	return locks.NewCombiningAdaptive(topo, underlying)
+}
+
+// RWExecutor is delegated execution with a shared mode: ExecShared
+// closures may run concurrently with one another but never with an
+// Exec closure — the seam a read-mostly structure uses to hand whole
+// batches of read-only critical sections to the lock in one shared
+// acquisition.
+type RWExecutor = locks.RWExecutor
+
+// ExecFromRWLock adapts any RWLock to the RWExecutor interface — one
+// acquisition per closure, shared closures under shared mode — so
+// shared-executor-shaped code runs over the whole reader-writer
+// family.
+func ExecFromRWLock(l RWLock) RWExecutor { return locks.ExecFromRWMutex(l) }
+
 // RestrictedLock wraps any Lock with generic concurrency restriction
 // (Dice & Kogan, 2019): at most K waiters per cluster compete for the
 // inner lock, the surplus parks FIFO. See NewRestricted.
@@ -314,4 +346,5 @@ var (
 	_ RWLock   = (*RWCohortLock)(nil)
 	_ RWLock   = (*RWPerClusterLock)(nil)
 	_ Executor = (*CombiningLock)(nil)
+	_ Executor = (*AdaptiveCombiningLock)(nil)
 )

@@ -60,6 +60,34 @@ func TestAllConstructorsUsable(t *testing.T) {
 	}
 }
 
+func TestAdaptiveCombiningAndRWExecutorFacade(t *testing.T) {
+	// The public faces of the adaptive hot path: the load-adaptive
+	// combining executor with its occupancy introspection, and the
+	// shared-mode executor adapter over a reader-writer lock.
+	topo := cohort.NewTopology(2, 8)
+	p := topo.Proc(0)
+
+	x := cohort.NewCombiningAdaptive(topo, cohort.NewCBOMCS(topo))
+	n := 0
+	for i := 0; i < 10; i++ {
+		x.Exec(p, func() { n++ })
+	}
+	if n != 10 {
+		t.Fatalf("adaptive executor ran %d closures, want 10", n)
+	}
+	if occ := x.OccupancyEstimate(); occ != 0 {
+		t.Fatalf("quiescent occupancy estimate = %d, want 0", occ)
+	}
+
+	rx := cohort.ExecFromRWLock(cohort.NewRWPerCluster(topo, cohort.NewCBOMCS(topo)))
+	m := 0
+	rx.ExecShared(p, func() { m++ })
+	rx.Exec(p, func() { m++ })
+	if m != 2 {
+		t.Fatalf("rw executor ran %d closures, want 2", m)
+	}
+}
+
 func TestWithHandoffLimitVisible(t *testing.T) {
 	topo := cohort.NewTopology(2, 4)
 	l := cohort.NewCTKTTKT(topo, cohort.WithHandoffLimit(5))

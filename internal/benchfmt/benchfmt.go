@@ -1,14 +1,20 @@
-// Package benchfmt is the single place benchmark JSON leaves the
-// repository. Every CLI that emits measurement records (kvbench's
-// table cells, lbench's sweep points) writes them through Write, so
-// downstream trajectory tooling — the CI artifact upload and anything
-// plotting across PRs — sees one stable encoding instead of each tool
-// hand-rolling its own encoder.
+// Package benchfmt is the single place benchmark JSON leaves — and
+// re-enters — the repository. Every CLI that emits measurement records
+// (kvbench's table cells, lbench's sweep points) writes them through
+// Write, so downstream trajectory tooling — the CI artifact upload and
+// anything plotting across PRs — sees one stable encoding instead of
+// each tool hand-rolling its own encoder. Diff closes the loop: it
+// compares two such envelopes cell by cell and flags throughput
+// regressions, which is what turns the CI artifact from a plot input
+// into a perf-trajectory gate.
 package benchfmt
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"sort"
+	"strings"
 )
 
 // Write encodes records — any slice of per-cell record structs — as
@@ -19,4 +25,114 @@ func Write(w io.Writer, records any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(records)
+}
+
+// DefaultRegressionThreshold is the fractional throughput drop Diff
+// flags by default: new below 85% of old is a regression. Noise on a
+// shared CI runner sits well inside 15% for the smoke windows the
+// artifact is built from; real perf work should compare longer runs
+// with a tighter threshold.
+const DefaultRegressionThreshold = 0.15
+
+// metricFields are the measured values of a record — everything else
+// identifies the cell. Kept as a deny-list so new knobs added to a
+// tool's record type extend cell identity automatically instead of
+// silently merging cells that differ in the new knob.
+var metricFields = map[string]bool{
+	"ops_per_sec":         true,
+	"speedup_vs_pthread1": true,
+	"ops_per_acq":         true,
+	"avg_batch":           true,
+	// lbench's sweep metrics.
+	"pairs_per_sec":       true,
+	"misses_per_cs":       true,
+	"fairness_stddev_pct": true,
+	"abort_pct":           true,
+}
+
+// Regression is one flagged cell: its identity, both throughput
+// readings, and the fractional change ((new-old)/old, negative =
+// slower).
+type Regression struct {
+	Cell     string
+	Old, New float64
+	Delta    float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f -> %.0f ops/s (%+.1f%%)", r.Cell, r.Old, r.New, r.Delta*100)
+}
+
+// cellKey canonicalizes a record's identity fields into a stable
+// string key.
+func cellKey(rec map[string]any) string {
+	keys := make([]string, 0, len(rec))
+	for k := range rec {
+		if !metricFields[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%v", k, rec[k])
+	}
+	return b.String()
+}
+
+// parseCells decodes one envelope into cell -> ops_per_sec. Cells
+// without an ops_per_sec metric (other tools' record shapes) are
+// skipped; duplicate cells keep the last reading, matching how a
+// re-measured cell would supersede an earlier one in the same run.
+func parseCells(data []byte) (map[string]float64, error) {
+	var recs []map[string]any
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("benchfmt: parsing envelope: %w", err)
+	}
+	cells := make(map[string]float64, len(recs))
+	for _, rec := range recs {
+		ops, ok := rec["ops_per_sec"].(float64)
+		if !ok {
+			continue
+		}
+		cells[cellKey(rec)] = ops
+	}
+	return cells, nil
+}
+
+// Diff compares two benchmark envelopes (the JSON arrays Write emits)
+// cell by cell and returns the cells whose ops_per_sec dropped by more
+// than threshold (fractional; <= 0 selects
+// DefaultRegressionThreshold), sorted worst first, plus how many cells
+// the two envelopes had in common. Cells present in only one envelope
+// are ignored: a trajectory gate must tolerate tables gaining and
+// losing columns across PRs.
+func Diff(oldJSON, newJSON []byte, threshold float64) (regs []Regression, compared int, err error) {
+	if threshold <= 0 {
+		threshold = DefaultRegressionThreshold
+	}
+	oldCells, err := parseCells(oldJSON)
+	if err != nil {
+		return nil, 0, err
+	}
+	newCells, err := parseCells(newJSON)
+	if err != nil {
+		return nil, 0, err
+	}
+	for cell, oldOps := range oldCells {
+		newOps, ok := newCells[cell]
+		if !ok || oldOps <= 0 {
+			continue
+		}
+		compared++
+		delta := (newOps - oldOps) / oldOps
+		if delta < -threshold {
+			regs = append(regs, Regression{Cell: cell, Old: oldOps, New: newOps, Delta: delta})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Delta < regs[j].Delta })
+	return regs, compared, nil
 }

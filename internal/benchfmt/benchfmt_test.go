@@ -49,6 +49,124 @@ func TestWriteEmptySlice(t *testing.T) {
 	}
 }
 
+// env builds a tiny envelope from (lock, threads, ops) triples via
+// Write, so Diff tests exercise the exact encoding the tools emit.
+func env(t *testing.T, cells ...[3]any) []byte {
+	t.Helper()
+	type rec struct {
+		Lock    string  `json:"lock"`
+		Threads int     `json:"threads"`
+		Ops     float64 `json:"ops_per_sec"`
+	}
+	recs := make([]rec, len(cells))
+	for i, c := range cells {
+		recs[i] = rec{c[0].(string), c[1].(int), c[2].(float64)}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	oldJSON := env(t,
+		[3]any{"mcs", 4, 1000.0},
+		[3]any{"mcs", 8, 2000.0},
+		[3]any{"c-bo-mcs", 4, 3000.0},
+	)
+	newJSON := env(t,
+		[3]any{"mcs", 4, 500.0},       // -50%: regression
+		[3]any{"mcs", 8, 1900.0},      // -5%: inside threshold
+		[3]any{"c-bo-mcs", 4, 3600.0}, // +20%: improvement
+	)
+	regs, compared, err := Diff(oldJSON, newJSON, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 3 {
+		t.Errorf("compared %d cells, want 3", compared)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("flagged %d regressions, want 1: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if !strings.Contains(r.Cell, "lock=mcs") || !strings.Contains(r.Cell, "threads=4") {
+		t.Errorf("wrong cell flagged: %q", r.Cell)
+	}
+	if r.Old != 1000 || r.New != 500 || r.Delta != -0.5 {
+		t.Errorf("regression = %+v, want old 1000 new 500 delta -0.5", r)
+	}
+	if s := r.String(); !strings.Contains(s, "-50.0%") {
+		t.Errorf("String() = %q, want a -50.0%% mention", s)
+	}
+}
+
+func TestDiffThresholdAndSorting(t *testing.T) {
+	oldJSON := env(t, [3]any{"a", 1, 1000.0}, [3]any{"b", 1, 1000.0})
+	newJSON := env(t, [3]any{"a", 1, 700.0}, [3]any{"b", 1, 400.0})
+	// 40% threshold: only b (-60%) trips.
+	regs, _, err := Diff(oldJSON, newJSON, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0].Cell, "lock=b") {
+		t.Fatalf("threshold 0.4 flagged %v, want only lock=b", regs)
+	}
+	// Default threshold: both trip, worst first.
+	regs, _, err = Diff(oldJSON, newJSON, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 || regs[0].Delta > regs[1].Delta {
+		t.Fatalf("default threshold flagged %v, want both sorted worst first", regs)
+	}
+}
+
+func TestDiffIgnoresUnmatchedCells(t *testing.T) {
+	// Columns come and go across PRs; only the intersection gates.
+	oldJSON := env(t, [3]any{"mcs", 4, 1000.0}, [3]any{"retired-lock", 4, 9999.0})
+	newJSON := env(t, [3]any{"mcs", 4, 950.0}, [3]any{"new-lock", 4, 1.0})
+	regs, compared, err := Diff(oldJSON, newJSON, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 1 || len(regs) != 0 {
+		t.Fatalf("compared %d / flagged %v, want 1 compared, none flagged", compared, regs)
+	}
+}
+
+func TestDiffIdentityIncludesUnknownKnobs(t *testing.T) {
+	// A knob Diff has never heard of (say a future "batch_mode") must
+	// split cells, not merge them: same lock+threads, different knob,
+	// different readings — no comparison should happen across them.
+	oldJSON := []byte(`[
+	  {"lock":"mcs","threads":4,"batch_mode":"fixed","ops_per_sec":1000},
+	  {"lock":"mcs","threads":4,"batch_mode":"adaptive","ops_per_sec":2000}
+	]`)
+	newJSON := []byte(`[
+	  {"lock":"mcs","threads":4,"batch_mode":"fixed","ops_per_sec":1000},
+	  {"lock":"mcs","threads":4,"batch_mode":"adaptive","ops_per_sec":2000}
+	]`)
+	regs, compared, err := Diff(oldJSON, newJSON, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 2 || len(regs) != 0 {
+		t.Fatalf("compared %d / flagged %v, want 2 compared, none flagged", compared, regs)
+	}
+}
+
+func TestDiffRejectsMalformedEnvelopes(t *testing.T) {
+	good := env(t, [3]any{"mcs", 4, 1000.0})
+	if _, _, err := Diff([]byte("not json"), good, 0); err == nil {
+		t.Error("malformed old envelope accepted")
+	}
+	if _, _, err := Diff(good, []byte("{"), 0); err == nil {
+		t.Error("malformed new envelope accepted")
+	}
+}
+
 type failWriter struct{}
 
 func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }

@@ -55,6 +55,19 @@ type Config struct {
 	// for byte. Affinity biasing is a per-operation knob and must be 0
 	// when batching.
 	BatchSize int
+	// BatchAdaptive, with BatchSize > 1, turns BatchSize into a
+	// ceiling instead of a fixed size: each worker grows and shrinks
+	// its own batch within [1, BatchSize] by hill-climbing on the
+	// observed per-operation service time of its store calls — batch
+	// size doubles while batching keeps paying (per-op time holds or
+	// falls) and halves when it degrades (a batch that outgrew what
+	// the store's locks can amortize, or contention behind them).
+	// Service time is a throughput signal, not a latency one: a store
+	// that goes idle while big batches stay cheap per-op keeps them —
+	// optimal for this closed-loop generator, which models no
+	// per-request latency target. The think-time budget stays
+	// per-operation either way.
+	BatchAdaptive bool
 }
 
 // DefaultConfig mirrors the paper's memcached setup at benchmark
@@ -105,6 +118,9 @@ func (c *Config) validate() error {
 	if c.BatchSize > 1 && c.Affinity > 0 {
 		return fmt.Errorf("kvload: affinity biasing is per-operation; unsupported with batch size %d", c.BatchSize)
 	}
+	if c.BatchAdaptive && c.BatchSize <= 1 {
+		return fmt.Errorf("kvload: adaptive batching needs a batch ceiling > 1, got %d", c.BatchSize)
+	}
 	return nil
 }
 
@@ -121,6 +137,19 @@ type Result struct {
 	// LocalOps counts operations whose key routed to a shard homed on
 	// the worker's own cluster. Tracked only when Affinity > 0.
 	LocalOps uint64
+	// Rounds counts batched-worker rounds (one MGet+MSet pair each);
+	// zero on the per-op path. Ops/Rounds is the average issued batch
+	// size — the observable an adaptive-batch run is judged by.
+	Rounds uint64
+}
+
+// AvgBatch reports the average issued batch size of a batched run, or
+// 0 for per-op runs.
+func (r Result) AvgBatch() float64 {
+	if r.Rounds == 0 {
+		return 0
+	}
+	return float64(r.Ops) / float64(r.Rounds)
 }
 
 // Throughput reports operations per second.
@@ -165,20 +194,82 @@ func PopulateClusters(s *kvstore.Store, topo *numa.Topology, keyspace uint64, va
 }
 
 type loadSlot struct {
-	ops   uint64
-	gets  uint64
-	sets  uint64
-	local uint64
-	_     numa.Pad
+	ops    uint64
+	gets   uint64
+	sets   uint64
+	local  uint64
+	rounds uint64
+	_      numa.Pad
+}
+
+// adaptEpoch is how many rounds an adaptive batched worker runs at one
+// batch size before re-deciding: long enough to average out a stray
+// slow call, short enough to track a load shift within a measurement
+// window.
+const adaptEpoch = 8
+
+// adaptTolerance is the fractional per-op slowdown an adaptive worker
+// shrugs off before reversing direction; without it, measurement noise
+// alone would bounce the batch size around the walk's every step.
+const adaptTolerance = 1.05
+
+// batchSizer is the per-worker adaptive batch policy: a hill climb
+// over batch size driven by observed per-op service time. Grow while
+// per-op time holds or falls (batching is paying: each doubling
+// halves the per-op share of lock acquisitions), reverse when it
+// degrades past tolerance (the batch outgrew MaxBatch's amortization,
+// or contention built up behind the store calls).
+type batchSizer struct {
+	cur, ceil int
+	dir       int // +1 growing, -1 shrinking
+	rounds    int
+	ops       uint64
+	svcNs     int64
+	prevPerOp float64
+}
+
+func newBatchSizer(ceil int) *batchSizer {
+	return &batchSizer{cur: 1, ceil: ceil, dir: 1}
+}
+
+// observe records one round's issued ops and service time, and steps
+// the batch size at each epoch boundary.
+func (a *batchSizer) observe(ops int, svc time.Duration) {
+	a.rounds++
+	a.ops += uint64(ops)
+	a.svcNs += svc.Nanoseconds()
+	if a.rounds < adaptEpoch {
+		return
+	}
+	perOp := float64(a.svcNs) / float64(a.ops)
+	if a.prevPerOp > 0 && perOp > a.prevPerOp*adaptTolerance {
+		a.dir = -a.dir
+	}
+	a.prevPerOp = perOp
+	if a.dir > 0 {
+		a.cur *= 2
+	} else {
+		a.cur /= 2
+	}
+	if a.cur > a.ceil {
+		a.cur = a.ceil
+	}
+	if a.cur < 1 {
+		a.cur = 1
+	}
+	a.rounds, a.ops, a.svcNs = 0, 0, 0
 }
 
 // runBatchedWorker is the BatchSize > 1 worker loop: each round draws
-// BatchSize keys, splits them by the get/set mix, and issues one MGet
+// a batch of keys, splits them by the get/set mix, and issues one MGet
 // and one MSet — the store amortizes lock acquisitions across each
 // shard's group. The per-request non-locked work (think time) is
 // still paid once per operation; it is busy-waited in one stretch per
 // batch, as a pipelining server would interleave parsing with the
-// batched cache pass.
+// batched cache pass. Fixed mode issues BatchSize keys every round;
+// adaptive mode (Config.BatchAdaptive) sizes each round through a
+// batchSizer hill climb within [1, BatchSize], timing only the store
+// calls so think time never pollutes the signal.
 func runBatchedWorker(cfg *Config, store *kvstore.Store, p *numa.Proc, sl *loadSlot, getMille int64, stop *atomic.Bool, start chan struct{}) {
 	b := cfg.BatchSize
 	getKeys := make([]uint64, 0, b)
@@ -192,12 +283,20 @@ func runBatchedWorker(cfg *Config, store *kvstore.Store, p *numa.Proc, sl *loadS
 	}
 	lens := make([]int, b)
 	found := make([]bool, b)
+	var sizer *batchSizer
+	if cfg.BatchAdaptive {
+		sizer = newBatchSizer(b)
+	}
 	var sink byte
 	<-start
 	for !stop.Load() {
+		cur := b
+		if sizer != nil {
+			cur = sizer.cur
+		}
 		getKeys, setKeys, vals = getKeys[:0], setKeys[:0], vals[:0]
 		var think int64
-		for i := 0; i < b; i++ {
+		for i := 0; i < cur; i++ {
 			key := p.Rand() % cfg.Keyspace
 			var isGet bool
 			if getMille >= 0 {
@@ -218,8 +317,21 @@ func runBatchedWorker(cfg *Config, store *kvstore.Store, p *numa.Proc, sl *loadS
 				think += cfg.ThinkNs/2 + p.RandN(cfg.ThinkNs/2+1)
 			}
 		}
+		var began time.Time
+		if sizer != nil {
+			began = time.Now()
+		}
 		if len(getKeys) > 0 {
 			store.MGet(p, getKeys, dsts[:len(getKeys)], lens[:len(getKeys)], found[:len(getKeys)])
+		}
+		if len(setKeys) > 0 {
+			store.MSet(p, setKeys, vals)
+			sl.sets += uint64(len(setKeys))
+		}
+		if sizer != nil {
+			sizer.observe(cur, time.Since(began))
+		}
+		if len(getKeys) > 0 {
 			for i := range getKeys {
 				if found[i] {
 					// Response assembly: checksum the payload.
@@ -230,12 +342,9 @@ func runBatchedWorker(cfg *Config, store *kvstore.Store, p *numa.Proc, sl *loadS
 			}
 			sl.gets += uint64(len(getKeys))
 		}
-		if len(setKeys) > 0 {
-			store.MSet(p, setKeys, vals)
-			sl.sets += uint64(len(setKeys))
-		}
 		spin.WaitNs(think)
-		sl.ops += uint64(b)
+		sl.ops += uint64(cur)
+		sl.rounds++
 	}
 }
 
@@ -349,6 +458,7 @@ func Run(cfg Config, store *kvstore.Store) (Result, error) {
 		res.Gets += slots[i].gets
 		res.Sets += slots[i].sets
 		res.LocalOps += slots[i].local
+		res.Rounds += slots[i].rounds
 	}
 	res.Store = store.Snapshot()
 	res.PerShard = make([]kvstore.Stats, store.NumShards())

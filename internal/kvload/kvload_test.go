@@ -352,6 +352,98 @@ func TestRunBatched(t *testing.T) {
 	}
 }
 
+func TestBatchAdaptiveValidation(t *testing.T) {
+	topo := numa.New(4, 8)
+	s := fastStore(topo)
+	for i, cfg := range []Config{
+		fastCfgMod(topo, func(c *Config) { c.BatchAdaptive = true }),
+		fastCfgMod(topo, func(c *Config) { c.BatchAdaptive = true; c.BatchSize = 1 }),
+	} {
+		if _, err := Run(cfg, s); err == nil {
+			t.Errorf("bad adaptive-batch config %d accepted (adaptive needs a ceiling > 1)", i)
+		}
+	}
+}
+
+func TestBatchSizerWalksWithinBounds(t *testing.T) {
+	// The policy in isolation: growth while per-op time falls, reversal
+	// when it degrades, and the walk never leaves [1, ceil].
+	a := newBatchSizer(16)
+	if a.cur != 1 {
+		t.Fatalf("sizer starts at %d, want 1", a.cur)
+	}
+	// Improving per-op time: 100ns, 90ns, 80ns... must climb to the
+	// ceiling and stay there.
+	per := 100
+	for epoch := 0; epoch < 8; epoch++ {
+		for r := 0; r < adaptEpoch; r++ {
+			a.observe(a.cur, time.Duration(per*a.cur))
+		}
+		if per > 20 {
+			per -= 10
+		}
+		if a.cur < 1 || a.cur > 16 {
+			t.Fatalf("epoch %d: batch size %d outside [1,16]", epoch, a.cur)
+		}
+	}
+	if a.cur != 16 {
+		t.Fatalf("improving per-op time left the sizer at %d, want ceiling 16", a.cur)
+	}
+	// A jump to a worse-but-stable per-op time must turn the walk
+	// around and keep it shrinking while nothing improves.
+	for epoch := 0; epoch < 3; epoch++ {
+		for r := 0; r < adaptEpoch; r++ {
+			a.observe(a.cur, time.Duration(1000*per*a.cur))
+		}
+	}
+	if a.cur > 4 {
+		t.Fatalf("degraded per-op time never shrank the batch (still %d)", a.cur)
+	}
+}
+
+func TestRunBatchAdaptive(t *testing.T) {
+	// End to end: an adaptive-batch run completes, keeps exact
+	// accounting, and reports an average issued batch inside [1, cap].
+	topo := numa.New(4, 8)
+	store := kvstore.New(kvstore.Config{
+		Topo:    topo,
+		NewLock: func() locks.Mutex { return locks.NewPthread() },
+		Shards:  2, MaxBatch: 8,
+		Buckets: 1 << 10, Capacity: 1 << 14,
+		Cache:       cachesim.Config{LocalNs: 1, RemoteNs: 1},
+		ItemLocalNs: 1, ItemRemoteNs: 1,
+	})
+	Populate(store, topo.Proc(0), 1000, 32)
+	cfg := fastCfg(topo, 4, 50)
+	cfg.BatchSize = 16
+	cfg.BatchAdaptive = true
+	res, err := Run(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Rounds == 0 {
+		t.Fatalf("adaptive run did nothing: %d ops over %d rounds", res.Ops, res.Rounds)
+	}
+	if res.Gets+res.Sets != res.Ops {
+		t.Fatalf("gets %d + sets %d != ops %d", res.Gets, res.Sets, res.Ops)
+	}
+	if avg := res.AvgBatch(); avg < 1 || avg > float64(cfg.BatchSize) {
+		t.Fatalf("average issued batch %.2f outside [1,%d]", avg, cfg.BatchSize)
+	}
+	if st := res.Store; st.Hits+st.Misses != st.Gets {
+		t.Fatalf("hits %d + misses %d != gets %d", st.Hits, st.Misses, st.Gets)
+	}
+	// The fixed path reports its exact quantum as the average.
+	cfg.BatchAdaptive = false
+	res, err = Run(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := res.AvgBatch(); avg != float64(cfg.BatchSize) {
+		t.Fatalf("fixed-batch average %.2f, want %d", avg, cfg.BatchSize)
+	}
+}
+
 func TestRunBatchedThroughCombiningExecutor(t *testing.T) {
 	// End to end through every new layer: batched load over a store
 	// whose shards delegate to combining executors.

@@ -55,7 +55,12 @@
 // touch-every-Nth-hit policy (Config.TouchEvery) so the common-case
 // Get mutates nothing. Exclusive locks slot in through
 // locks.RWFromMutex and keep the original every-hit-bumps read path
-// unchanged.
+// unchanged. The two amortization machines compose on the read side:
+// under a genuine reader-writer lock MGet answers each chunk of up to
+// MaxBatch lookups under ONE shared acquisition (LRU touches deferred
+// per the TouchEvery policy), so batched read-mostly traffic pays
+// ceil(N/MaxBatch) RLocks that other clusters' readers don't even
+// serialize against.
 package kvstore
 
 import (
@@ -398,8 +403,13 @@ func (s *Store) groupByShard(p *numa.Proc, keys []uint64) [][]int {
 // combined closure, under a comb-* executor) answers a whole chunk,
 // instead of one per key as repeated Get calls would pay. Results are
 // written at the same index as the key; every key is answered exactly
-// once. Semantics per key match Get on an exclusive lock: a hit pays
-// the item touch and LRU bump inside the critical section.
+// once. Per-key semantics match Get under the same lock: on an
+// exclusive lock a hit pays the item touch and LRU bump inside the
+// critical section; under a genuine reader-writer lock each chunk runs
+// in SHARED mode — one RLock answers the whole chunk, concurrent with
+// other readers' chunks — and LRU recency follows the TouchEvery
+// sampling policy with the sampled bumps deferred to one exclusive
+// section per shard group.
 func (s *Store) MGet(p *numa.Proc, keys []uint64, dsts [][]byte, lens []int, found []bool) {
 	if dsts != nil && len(dsts) != len(keys) {
 		panic(fmt.Sprintf("kvstore: MGet with %d dsts for %d keys", len(dsts), len(keys)))

@@ -408,8 +408,15 @@ func (s *Shard) runBatch(p *numa.Proc, fn func()) {
 // mget answers the group's lookups (idx indexes keys) in critical
 // sections of at most maxBatch operations each. dsts may be nil to
 // probe without copying; lens and found are written at the same
-// indices as keys.
+// indices as keys. Shards whose lock genuinely shares reads route
+// through mgetShared — whole chunks answered under one shared
+// acquisition — while exclusive and executor-seam shards keep this
+// exclusive path unchanged.
 func (s *Shard) mget(p *numa.Proc, keys []uint64, dsts [][]byte, lens []int, found []bool, idx []int) {
+	if s.sharedReads {
+		s.mgetShared(p, keys, dsts, lens, found, idx)
+		return
+	}
 	slot := &s.slots[p.ID()]
 	for start := 0; start < len(idx); start += s.maxBatch {
 		chunk := idx[start:min(start+s.maxBatch, len(idx))]
@@ -430,6 +437,66 @@ func (s *Shard) mget(p *numa.Proc, keys []uint64, dsts [][]byte, lens []int, fou
 				slot.misses++
 			}
 		}
+	}
+}
+
+// mgetShared is the shared-mode group read path, composing the RW read
+// protocol with the batch APIs: each chunk of up to maxBatch lookups
+// runs under ONE shared acquisition — concurrent readers' chunks on
+// different clusters proceed together, and a group of N lookups costs
+// ceil(N/maxBatch) RLock acquisitions. Per-key semantics match the
+// shared-mode Get: the hash walk and value copy only read item state
+// (writers hold exclusive mode, so nothing mutates under the chunk),
+// and the LRU bump follows the same touch-every-Nth-hit sampling —
+// sampled keys accumulate across the group and are refreshed in one
+// deferred exclusive section at the end, so recency maintenance costs
+// at most one extra acquisition per group instead of one per sampled
+// hit. Statistics stay per-proc, outside the lock, counted once per
+// operation exactly as the exclusive path counts them.
+func (s *Shard) mgetShared(p *numa.Proc, keys []uint64, dsts [][]byte, lens []int, found []bool, idx []int) {
+	slot := &s.slots[p.ID()]
+	var touch []uint64 // keys sampled for a deferred LRU refresh
+	for start := 0; start < len(idx); start += s.maxBatch {
+		chunk := idx[start:min(start+s.maxBatch, len(idx))]
+		s.lock.RLock(p)
+		for _, i := range chunk {
+			it := s.find(keys[i])
+			if it == nil {
+				lens[i], found[i] = 0, false
+				continue
+			}
+			var dst []byte
+			if dsts != nil {
+				dst = dsts[i]
+			}
+			lens[i], found[i] = copy(dst, it.value), true
+		}
+		s.lock.RUnlock(p)
+		for _, i := range chunk {
+			slot.gets++
+			if found[i] {
+				slot.hits++
+				slot.sinceTouch++
+				if slot.sinceTouch >= s.touchEvery {
+					slot.sinceTouch = 0
+					touch = append(touch, keys[i])
+				}
+			} else {
+				slot.misses++
+			}
+		}
+	}
+	if len(touch) > 0 {
+		// Re-find under exclusive mode: an item may have been evicted
+		// or deleted between the shared chunk and this upgrade.
+		s.lock.Lock(p)
+		for _, k := range touch {
+			if it := s.find(k); it != nil {
+				s.touchItem(p, it)
+				s.lruFront(it)
+			}
+		}
+		s.lock.Unlock(p)
 	}
 }
 

@@ -1,0 +1,384 @@
+package kvstore
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/locks"
+	"repro/internal/numa"
+)
+
+// countedRWStore builds a single-shard store over a genuine RW lock
+// instrumented with separate exclusive/shared acquisition counters.
+func countedRWStore(topo *numa.Topology, maxBatch, touchEvery int, excl, shared *atomic.Uint64) *Store {
+	return New(Config{
+		Topo: topo,
+		RWLock: locks.CountRWAcquisitions(
+			locks.NewRWPerCluster(topo, locks.NewMCS(topo)), excl, shared),
+		MaxBatch:   maxBatch,
+		TouchEvery: touchEvery,
+		Buckets:    512,
+		Capacity:   4096,
+	})
+}
+
+func TestSharedMGetAcquisitionCount(t *testing.T) {
+	// The acceptance criterion: a shard group of N lookups under a
+	// genuine reader-writer lock costs exactly ceil(N/MaxBatch) SHARED
+	// acquisitions, and — with the touch stride too large to sample —
+	// zero exclusive ones.
+	topo := numa.New(2, 4)
+	p := topo.Proc(0)
+	const n, batch = 16, 4
+	var excl, shared atomic.Uint64
+	s := countedRWStore(topo, batch, 1<<20, &excl, &shared)
+
+	keys := make([]uint64, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+		vals[i] = val(i)
+	}
+	s.MSet(p, keys, vals)
+
+	dsts := make([][]byte, n)
+	for i := range dsts {
+		dsts[i] = make([]byte, 32)
+	}
+	lens := make([]int, n)
+	found := make([]bool, n)
+	e0, s0 := excl.Load(), shared.Load()
+	s.MGet(p, keys, dsts, lens, found)
+	const ceil = (n + batch - 1) / batch
+	if got := shared.Load() - s0; got != ceil {
+		t.Errorf("shared MGet of %d keys took %d RLock acquisitions, want ceil(%d/%d)=%d", n, got, n, batch, ceil)
+	}
+	if got := excl.Load() - e0; got != 0 {
+		t.Errorf("shared MGet took %d exclusive acquisitions, want 0 (touch stride never samples)", got)
+	}
+	for i := range keys {
+		if !found[i] || !bytes.Equal(dsts[i][:lens[i]], vals[i]) {
+			t.Fatalf("key %d: got (%q,%v), want %q", keys[i], dsts[i][:lens[i]], found[i], vals[i])
+		}
+	}
+
+	// With TouchEvery=1 every hit is sampled; the deferred LRU refresh
+	// still costs exactly ONE extra exclusive acquisition per group,
+	// not one per sampled hit.
+	var excl1, shared1 atomic.Uint64
+	s1 := countedRWStore(topo, batch, 1, &excl1, &shared1)
+	s1.MSet(p, keys, vals)
+	e0, s0 = excl1.Load(), shared1.Load()
+	s1.MGet(p, keys, dsts, lens, found)
+	if got := shared1.Load() - s0; got != ceil {
+		t.Errorf("TouchEvery=1 shared MGet took %d RLock acquisitions, want %d", got, ceil)
+	}
+	if got := excl1.Load() - e0; got != 1 {
+		t.Errorf("TouchEvery=1 shared MGet took %d exclusive acquisitions, want 1 (one deferred touch batch)", got)
+	}
+}
+
+func TestSharedMGetPerShardGroups(t *testing.T) {
+	// Multi-shard stores pay ceil per GROUP: the counters sum across
+	// shards, so total shared acquisitions are the sum of each group's
+	// ceiling — and never more than shards * ceil(N/batch).
+	topo := numa.New(2, 4)
+	p := topo.Proc(0)
+	const shards, batch = 4, 4
+	var excl, shared atomic.Uint64
+	s := New(Config{
+		Topo: topo,
+		NewRWLock: func() locks.RWMutex {
+			return locks.CountRWAcquisitions(
+				locks.NewRWPerCluster(topo, locks.NewMCS(topo)), &excl, &shared)
+		},
+		Shards:     shards,
+		MaxBatch:   batch,
+		TouchEvery: 1 << 20,
+		Placement:  HashMod,
+		Buckets:    512,
+		Capacity:   4096,
+	})
+	const n = 64
+	keys := make([]uint64, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+		vals[i] = val(i)
+	}
+	s.MSet(p, keys, vals)
+
+	lens := make([]int, n)
+	found := make([]bool, n)
+	s0 := shared.Load()
+	s.MGet(p, keys, nil, lens, found)
+	got := shared.Load() - s0
+
+	// Compute the exact expectation from the store's own routing.
+	want := uint64(0)
+	groups := s.groupByShard(p, keys)
+	for _, g := range groups {
+		want += uint64((len(g) + batch - 1) / batch)
+	}
+	if got != want {
+		t.Errorf("sharded shared MGet took %d RLock acquisitions, want %d (sum of per-group ceilings)", got, want)
+	}
+	for i := range keys {
+		if !found[i] {
+			t.Fatalf("key %d unanswered", keys[i])
+		}
+	}
+}
+
+func TestSharedMGetMatchesSequentialGets(t *testing.T) {
+	// Sequential equivalence, duplicate keys included: a shared-mode
+	// MGet must answer exactly what the same store's Gets answer, and
+	// count statistics once per operation.
+	topo := numa.New(2, 4)
+	p := topo.Proc(0)
+	var excl, shared atomic.Uint64
+	s := countedRWStore(topo, 5, 8, &excl, &shared)
+
+	const present = 40
+	for i := 0; i < present; i++ {
+		s.Set(p, uint64(i), val(i))
+	}
+	keys := make([]uint64, 0, 60)
+	for i := 0; i < present; i++ {
+		keys = append(keys, uint64(i))
+	}
+	keys = append(keys, keys[:10]...) // duplicates
+	for i := 0; i < 10; i++ {         // misses
+		keys = append(keys, uint64(10_000+i))
+	}
+
+	dsts := make([][]byte, len(keys))
+	lens := make([]int, len(keys))
+	found := make([]bool, len(keys))
+	for i := range dsts {
+		dsts[i] = make([]byte, 32)
+		lens[i] = -1
+	}
+	before := s.Snapshot()
+	s.MGet(p, keys, dsts, lens, found)
+	after := s.Snapshot()
+
+	dst := make([]byte, 32)
+	for i, k := range keys {
+		if lens[i] == -1 {
+			t.Fatalf("key %d (index %d) never answered", k, i)
+		}
+		n, ok := s.Get(p, k, dst)
+		if ok != found[i] || (ok && !bytes.Equal(dst[:n], dsts[i][:lens[i]])) {
+			t.Fatalf("key %d: MGet (%q,%v) vs Get (%q,%v)", k, dsts[i][:lens[i]], found[i], dst[:n], ok)
+		}
+	}
+	wantHits, wantMisses := uint64(present+10), uint64(10)
+	if g := after.Gets - before.Gets; g != uint64(len(keys)) {
+		t.Errorf("Gets counted %d, want %d (once per op)", g, len(keys))
+	}
+	if h := after.Hits - before.Hits; h != wantHits {
+		t.Errorf("Hits counted %d, want %d", h, wantHits)
+	}
+	if m := after.Misses - before.Misses; m != wantMisses {
+		t.Errorf("Misses counted %d, want %d", m, wantMisses)
+	}
+	if err := s.checkLRU(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedMGetTouchPolicy(t *testing.T) {
+	// The deferred LRU refresh must actually refresh: with TouchEvery=1
+	// a batched read keeps its keys off the eviction victim spot,
+	// exactly as sequential shared Gets would.
+	topo := numa.New(2, 4)
+	p := topo.Proc(0)
+	build := func(touchEvery int) *Store {
+		return New(Config{
+			Topo:       topo,
+			RWLock:     locks.NewRWPerCluster(topo, locks.NewMCS(topo)),
+			MaxBatch:   8,
+			TouchEvery: touchEvery,
+			Buckets:    64,
+			Capacity:   2,
+		})
+	}
+	lens := make([]int, 1)
+	found := make([]bool, 1)
+	dst := make([]byte, 4)
+
+	s := build(1) // every hit sampled: batched read bumps recency
+	s.Set(p, 1, []byte("a"))
+	s.Set(p, 2, []byte("b"))
+	s.MGet(p, []uint64{1}, nil, lens, found)
+	s.Set(p, 3, []byte("c"))
+	if _, ok := s.Get(p, 1, dst); !ok {
+		t.Fatal("batch-touched key evicted despite TouchEvery=1")
+	}
+	if _, ok := s.Get(p, 2, dst); ok {
+		t.Fatal("LRU victim survived eviction")
+	}
+
+	s = build(1 << 20) // sampled out: batched read mutates nothing
+	s.Set(p, 1, []byte("a"))
+	s.Set(p, 2, []byte("b"))
+	s.MGet(p, []uint64{1}, nil, lens, found)
+	s.Set(p, 3, []byte("c"))
+	if _, ok := s.Get(p, 1, dst); ok {
+		t.Fatal("un-bumped key survived: shared MGet mutated the LRU")
+	}
+	if err := s.checkLRU(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMGetExclusiveFallbackUnchanged(t *testing.T) {
+	// When the shard lock is not a genuine RW lock — plain exclusive,
+	// RWFromMutex-adapted, or the executor seam — MGet must keep the
+	// exclusive batch path: correct answers, every-hit LRU bumps, and
+	// ceil(N/MaxBatch) EXCLUSIVE acquisitions (the RLock face of the
+	// adapter maps to Lock, so a shared count would be a path change).
+	topo := numa.New(2, 4)
+	p := topo.Proc(0)
+	const n, batch = 12, 4
+	var excl, shared atomic.Uint64
+	s := New(Config{
+		Topo: topo,
+		RWLock: locks.CountRWAcquisitions(
+			locks.RWFromMutex(locks.NewMCS(topo)), &excl, &shared),
+		MaxBatch: batch,
+		Buckets:  256,
+		Capacity: 1024,
+	})
+	if s.shards[0].sharedReads {
+		t.Fatal("RWFromMutex store selected the shared read path")
+	}
+	keys := make([]uint64, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+		vals[i] = val(i)
+	}
+	s.MSet(p, keys, vals)
+	lens := make([]int, n)
+	found := make([]bool, n)
+	e0, s0 := excl.Load(), shared.Load()
+	s.MGet(p, keys, nil, lens, found)
+	const ceil = (n + batch - 1) / batch
+	if got := excl.Load() - e0; got != ceil {
+		t.Errorf("exclusive-fallback MGet took %d exclusive acquisitions, want %d", got, ceil)
+	}
+	if got := shared.Load() - s0; got != 0 {
+		t.Errorf("exclusive-fallback MGet took %d shared acquisitions, want 0", got)
+	}
+	for i := range keys {
+		if !found[i] {
+			t.Fatalf("key %d unanswered", keys[i])
+		}
+	}
+	// An eviction-order probe: the exclusive path bumps on every hit.
+	tiny := New(Config{
+		Topo:     topo,
+		Lock:     locks.NewMCS(topo),
+		MaxBatch: 8,
+		Buckets:  64,
+		Capacity: 2,
+	})
+	dst := make([]byte, 4)
+	tiny.Set(p, 1, []byte("a"))
+	tiny.Set(p, 2, []byte("b"))
+	tiny.MGet(p, []uint64{1}, nil, lens[:1], found[:1])
+	tiny.Set(p, 3, []byte("c"))
+	if _, ok := tiny.Get(p, 1, dst); !ok {
+		t.Fatal("exclusive MGet hit did not bump recency")
+	}
+}
+
+func TestSharedMGetConcurrentWithWriters(t *testing.T) {
+	// Batched shared readers against exclusive writers: values must
+	// never tear and shard invariants must hold. Runs under -race in
+	// CI, which also checks the RLock chunk's happens-before edges.
+	topo := numa.New(4, 12)
+	s := New(Config{
+		Topo:       topo,
+		NewRWLock:  func() locks.RWMutex { return locks.NewRWPerCluster(topo, locks.NewMCS(topo)) },
+		Shards:     2,
+		MaxBatch:   4,
+		TouchEvery: 4,
+		Buckets:    256,
+		Capacity:   1024,
+	})
+	const keyspace = 64
+	val := func(b byte) []byte { return bytes.Repeat([]byte{b}, 32) }
+	seed := topo.Proc(0)
+	for k := uint64(0); k < keyspace; k++ {
+		s.Set(seed, k, val(byte(k)))
+	}
+
+	var bad atomic.Int64
+	var readers, writers sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 8; r++ {
+		readers.Add(1)
+		go func(p *numa.Proc) {
+			defer readers.Done()
+			const b = 8
+			keys := make([]uint64, b)
+			dsts := make([][]byte, b)
+			for i := range dsts {
+				dsts[i] = make([]byte, 32)
+			}
+			lens := make([]int, b)
+			found := make([]bool, b)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range keys {
+					keys[i] = uint64(p.RandN(keyspace))
+				}
+				s.MGet(p, keys, dsts, lens, found)
+				for i := range keys {
+					if !found[i] {
+						continue
+					}
+					for _, c := range dsts[i][1:lens[i]] {
+						if c != dsts[i][0] {
+							bad.Add(1)
+							break
+						}
+					}
+				}
+			}
+		}(topo.Proc(r))
+	}
+	for w := 8; w < 12; w++ {
+		writers.Add(1)
+		go func(p *numa.Proc) {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				k := uint64(p.RandN(keyspace))
+				switch p.RandN(10) {
+				case 0:
+					s.Delete(p, k)
+				default:
+					s.Set(p, k, val(byte(p.RandN(256))))
+				}
+			}
+		}(topo.Proc(w))
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("batched shared readers observed %d torn values", bad.Load())
+	}
+	if err := s.checkLRU(); err != nil {
+		t.Fatal(err)
+	}
+}

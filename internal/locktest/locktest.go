@@ -368,6 +368,143 @@ func CheckExec(t TB, topo *numa.Topology, x locks.Executor, procs, iters int) {
 	}
 }
 
+// CheckRWExec stress-tests a shared-mode executor (locks.RWExecutor):
+// delegated execution whose closures come in exclusive and shared
+// flavors. Deadline-guarded like the other harnesses, it verifies:
+//
+//   - Shared coexistence: when the executor genuinely shares reads
+//     (locks.SharesExecReads), one shared closure per cluster must be
+//     able to run simultaneously — concurrent shared batches make
+//     progress instead of serializing. Adapters over exclusive locks
+//     skip this phase; serializing shared closures is their documented
+//     behavior.
+//   - Writer exclusion and snapshot consistency: exclusive closures
+//     hold the domain alone (torn-counter state as in CheckMutex), and
+//     shared closures always observe the counters equal — an exclusive
+//     mutation is never visible half-done. The counters are non-atomic,
+//     so any shared/exclusive overlap is also a data race under -race.
+//   - No lost or double-run ops in either mode: Exec and ExecShared
+//     must return only after their closure ran exactly once, with the
+//     closure's effects happening-before the return.
+//
+// readers and writers are goroutine counts; procs are assigned
+// readers-first so shared closures land on distinct clusters.
+func CheckRWExec(t TB, topo *numa.Topology, x locks.RWExecutor, readers, writers, iters int) {
+	t.Helper()
+	if readers+writers > topo.MaxProcs() {
+		t.Fatalf("locktest: %d workers exceeds topology max %d", readers+writers, topo.MaxProcs())
+	}
+	spin.AutoOversubscribe(readers + writers)
+
+	// Phase 1: shared coexistence. One shared closure per cluster
+	// rendezvouses inside shared mode; an executor that serializes
+	// shared closures wedges here and fails on the deadline.
+	if locks.SharesExecReads(x) {
+		want := topo.Clusters()
+		if want > readers {
+			want = readers
+		}
+		if want > 1 {
+			var inside atomic.Int32
+			var stuck atomic.Int32
+			var cwg sync.WaitGroup
+			deadline := time.Now().Add(harnessDeadline)
+			for c := 0; c < want; c++ {
+				// Proc c is on cluster c under round-robin placement.
+				cwg.Add(1)
+				go func(id int) {
+					defer cwg.Done()
+					p := topo.Proc(id)
+					x.ExecShared(p, func() {
+						inside.Add(1)
+						for i := 0; inside.Load() < int32(want); i++ {
+							if time.Now().After(deadline) {
+								stuck.Add(1)
+								break
+							}
+							spin.Poll(i)
+						}
+					})
+				}(c)
+			}
+			awaitWorkers(t, &cwg, "shared closures never finished the coexistence rendezvous")
+			if stuck.Load() != 0 {
+				t.Fatalf("shared closures on %d clusters could not run together", want)
+			}
+		}
+	}
+
+	// Phase 2: exclusive exclusion, snapshot consistency and
+	// exactly-once execution under churn.
+	var s shared
+	var torn, lost, doubled atomic.Int64
+	var writersDone atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer writersDone.Add(1)
+			p := topo.Proc(readers + id)
+			for k := 0; k < iters; k++ {
+				runs := 0
+				x.Exec(p, func() {
+					runs++
+					s.enter()
+				})
+				switch {
+				case runs == 0:
+					lost.Add(1)
+				case runs > 1:
+					doubled.Add(1)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := topo.Proc(id)
+			// Read until every writer retires its quota, with a floor of
+			// iters closures so shared mode is exercised even if the
+			// writers finish first.
+			for k := 0; k < iters || writersDone.Load() < int32(writers); k++ {
+				runs := 0
+				x.ExecShared(p, func() {
+					runs++
+					if s.a != s.b {
+						torn.Add(1)
+					}
+				})
+				switch {
+				case runs == 0:
+					lost.Add(1)
+				case runs > 1:
+					doubled.Add(1)
+				}
+			}
+		}(i)
+	}
+	awaitWorkers(t, &wg, "rw-exec workers never finished: deadlock, lost wakeup or starvation")
+	if v := lost.Load(); v != 0 {
+		t.Fatalf("%d closures were lost (Exec/ExecShared returned before running them)", v)
+	}
+	if v := doubled.Load(); v != 0 {
+		t.Fatalf("%d closures ran more than once", v)
+	}
+	if v := s.violations.Load(); v != 0 {
+		t.Fatalf("exclusive-closure exclusion violated %d times", v)
+	}
+	if v := torn.Load(); v != 0 {
+		t.Fatalf("shared closures observed %d torn snapshots", v)
+	}
+	want := int64(writers * iters)
+	if s.a != want || s.b != want {
+		t.Fatalf("lost updates: counters (%d,%d), want %d", s.a, s.b, want)
+	}
+}
+
 // CheckHandoff verifies a lock hands over between two specific procs
 // repeatedly without losing progress: proc 0 and proc 1 alternate via
 // the lock, each completing iters sections within the deadline.

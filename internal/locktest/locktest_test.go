@@ -136,6 +136,57 @@ type bareExec struct{}
 
 func (bareExec) Exec(p *numa.Proc, fn func()) { fn() }
 
+// tornRWExec takes exclusive closures through a real mutex but runs
+// shared closures bare: writer exclusion holds, snapshots tear.
+type tornRWExec struct {
+	mu sync.Mutex
+}
+
+func (x *tornRWExec) Exec(p *numa.Proc, fn func()) {
+	x.mu.Lock()
+	fn()
+	x.mu.Unlock()
+}
+
+func (x *tornRWExec) ExecShared(p *numa.Proc, fn func()) { fn() }
+
+// serialRWExec serializes shared closures through the same mutex as
+// exclusive ones while claiming genuine sharing: correct exclusion,
+// broken coexistence.
+type serialRWExec struct {
+	mu sync.Mutex
+}
+
+func (x *serialRWExec) Exec(p *numa.Proc, fn func()) {
+	x.mu.Lock()
+	fn()
+	x.mu.Unlock()
+}
+
+func (x *serialRWExec) ExecShared(p *numa.Proc, fn func()) {
+	x.mu.Lock()
+	fn()
+	x.mu.Unlock()
+}
+
+func (x *serialRWExec) SharedReads() bool { return true }
+
+// dropSharedExec runs exclusive closures correctly but returns from
+// ExecShared without running the closure: lost shared ops.
+type dropSharedExec struct {
+	mu sync.Mutex
+}
+
+func (x *dropSharedExec) Exec(p *numa.Proc, fn func()) {
+	x.mu.Lock()
+	fn()
+	x.mu.Unlock()
+}
+
+func (x *dropSharedExec) ExecShared(p *numa.Proc, fn func()) {}
+
+func (x *dropSharedExec) SharedReads() bool { return false }
+
 // tornRW takes writers through a real mutex but lets readers straight
 // through: writer exclusion holds, snapshots tear.
 type tornRW struct {
@@ -238,6 +289,41 @@ func TestCheckExecCatchesExclusionViolation(t *testing.T) {
 	})
 }
 
+func TestCheckRWExecCatchesTornSnapshots(t *testing.T) {
+	needsViolationObservation(t)
+	msg := expectFailure(t, "CheckRWExec/torn", func(tb TB) {
+		CheckRWExec(tb, testTopo(), &tornRWExec{}, 4, 3, 20_000)
+	})
+	if !strings.Contains(msg, "torn") && !strings.Contains(msg, "could not run together") {
+		t.Errorf("unexpected failure message: %q", msg)
+	}
+}
+
+func TestCheckRWExecCatchesSerializedSharedClosures(t *testing.T) {
+	// A claimed-shared executor whose shared closures serialize must
+	// wedge the coexistence rendezvous and fail on the deadline. Needs
+	// two clusters' closures genuinely in flight at once, which a
+	// single-processor scheduler can still provide: the inside closure
+	// spins through spin.Poll, which yields.
+	withDeadline(300*time.Millisecond, func() {
+		msg := expectFailure(t, "CheckRWExec/serialized", func(tb TB) {
+			CheckRWExec(tb, testTopo(), &serialRWExec{}, 4, 2, 10)
+		})
+		if !strings.Contains(msg, "could not run together") && !strings.Contains(msg, "rendezvous") {
+			t.Errorf("unexpected failure message: %q", msg)
+		}
+	})
+}
+
+func TestCheckRWExecCatchesLostSharedOps(t *testing.T) {
+	msg := expectFailure(t, "CheckRWExec/drop", func(tb TB) {
+		CheckRWExec(tb, testTopo(), &dropSharedExec{}, 4, 2, 50)
+	})
+	if !strings.Contains(msg, "lost") {
+		t.Errorf("unexpected failure message: %q", msg)
+	}
+}
+
 func TestHarnessesPassCorrectImplementations(t *testing.T) {
 	// Positive control: the same harnesses must accept known-good
 	// implementations, or the failure tests above prove nothing.
@@ -247,4 +333,7 @@ func TestHarnessesPassCorrectImplementations(t *testing.T) {
 	CheckRW(t, topo, locks.NewRWPerCluster(topo, locks.NewMCS(topo)), 4, 2, 100)
 	CheckExec(t, topo, locks.ExecFromMutex(locks.NewMCS(topo)), 8, 100)
 	CheckExec(t, topo, locks.NewCombining(topo, locks.NewMCS(topo)), 8, 100)
+	CheckExec(t, topo, locks.NewCombiningAdaptive(topo, locks.NewMCS(topo)), 8, 100)
+	CheckRWExec(t, topo, locks.ExecFromRWMutex(locks.NewRWPerCluster(topo, locks.NewMCS(topo))), 4, 2, 100)
+	CheckRWExec(t, topo, locks.ExecFromRWMutex(locks.RWFromMutex(locks.NewMCS(topo))), 4, 2, 100)
 }

@@ -30,11 +30,19 @@ type Entry struct {
 	// NewExec builds a genuinely combining executor (delegated batches,
 	// one underlying acquisition per batch); nil for plain locks, which
 	// still adapt to the Executor interface through ExecFactory. Set on
-	// the derived comb-* entries.
+	// the derived comb-* and comb-a-* entries.
 	NewExec func(topo *numa.Topology) locks.Executor
+	// WrapExec is the derived entry's combining construction with the
+	// base lock factored out: WrapExec(topo, m) builds the same
+	// executor NewExec would, but over the caller's m. Tools use it to
+	// interpose measurement — an acquisition counter — between the
+	// combiner and the underlying lock without hardcoding which
+	// construction (fixed or adaptive) the entry names. Nil on primary
+	// entries.
+	WrapExec func(topo *numa.Topology, m locks.Mutex) locks.Executor
 	// Base names the entry a derived construction wraps ("" for primary
-	// entries); tools use it to interpose measurement — e.g. an
-	// acquisition counter — on the underlying lock of a comb-* entry.
+	// entries); tools use it to build the underlying lock a WrapExec
+	// interposition needs.
 	Base string
 	// Cohort marks the paper's contributed locks.
 	Cohort bool
@@ -153,13 +161,15 @@ var entries = []Entry{
 	},
 }
 
-// init derives a comb-<name> entry for every blocking lock: the same
-// construction wrapped in the combining executor, so every lock in the
-// registry — cohort, CNA, GCR, rw-* — is also available as a combining
-// lock. Derived entries are exec-only (a combining lock cannot expose
-// Lock/Unlock: the critical section is delegated, never held by the
-// caller) and point back at their base entry for tools that interpose
-// on the underlying lock.
+// init derives a comb-<name> and a comb-a-<name> entry for every
+// blocking lock: the same construction wrapped in the fixed-policy and
+// the load-adaptive combining executor, so every lock in the registry
+// — cohort, CNA, GCR, rw-* — is also available as a combining lock in
+// both tunings. Derived entries are exec-only (a combining lock cannot
+// expose Lock/Unlock: the critical section is delegated, never held by
+// the caller) and point back at their base entry, with WrapExec
+// exposing the construction itself, for tools that interpose on the
+// underlying lock.
 func init() {
 	base := make([]Entry, len(entries))
 	copy(base, entries)
@@ -173,8 +183,22 @@ func init() {
 			Desc:      "combining executor over " + e.Name + ": delegated same-cluster batches, one acquisition per batch",
 			Base:      e.Name,
 			Extension: true,
+			WrapExec: func(t *numa.Topology, m locks.Mutex) locks.Executor {
+				return locks.NewCombining(t, m)
+			},
 			NewExec: func(t *numa.Topology) locks.Executor {
 				return locks.NewCombining(t, newMutex(t))
+			},
+		}, Entry{
+			Name:      "comb-a-" + e.Name,
+			Desc:      "adaptive combining executor over " + e.Name + ": occupancy-scaled patience and harvest passes",
+			Base:      e.Name,
+			Extension: true,
+			WrapExec: func(t *numa.Topology, m locks.Mutex) locks.Executor {
+				return locks.NewCombiningAdaptive(t, m)
+			},
+			NewExec: func(t *numa.Topology) locks.Executor {
+				return locks.NewCombiningAdaptive(t, newMutex(t))
 			},
 		})
 	}
@@ -233,6 +257,20 @@ func (e Entry) ExecFactory(topo *numa.Topology) func() locks.Executor {
 		return nil
 	}
 	return func() locks.Executor { return locks.ExecFromMutex(e.NewMutex(topo)) }
+}
+
+// RWExecFactory returns a factory building independent shared-mode
+// executors of this lock for topo (locks.RWExecutor: exclusive plus
+// shared closures), or nil if the entry cannot lock at all. Entries
+// with a native RW construction yield executors whose shared closures
+// genuinely coexist; exclusive-only entries serialize them
+// (locks.SharesExecReads reports which case was built).
+func (e Entry) RWExecFactory(topo *numa.Topology) func() locks.RWExecutor {
+	f := e.RWFactory(topo)
+	if f == nil {
+		return nil
+	}
+	return func() locks.RWExecutor { return locks.ExecFromRWMutex(f()) }
 }
 
 // BuildMutexes constructs n independent blocking instances of this

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/locks"
 	"repro/internal/numa"
 )
 
@@ -45,17 +46,28 @@ func TestCombiningEntriesDerived(t *testing.T) {
 		if e.NewMutex == nil {
 			continue
 		}
-		comb, ok := byName["comb-"+e.Name]
-		if !ok {
-			t.Errorf("blocking lock %s has no comb-%s entry", e.Name, e.Name)
-			continue
+		for _, prefix := range []string{"comb-", "comb-a-"} {
+			comb, ok := byName[prefix+e.Name]
+			if !ok {
+				t.Errorf("blocking lock %s has no %s%s entry", e.Name, prefix, e.Name)
+				continue
+			}
+			if comb.NewExec == nil || comb.WrapExec == nil || comb.Base != e.Name || !comb.Extension {
+				t.Errorf("%s%s: want NewExec+WrapExec set, Base=%q, Extension", prefix, e.Name, e.Name)
+			}
+			if comb.NewMutex != nil || comb.NewTry != nil || comb.NewRW != nil {
+				t.Errorf("%s%s: derived entries are exec-only", prefix, e.Name)
+			}
 		}
-		if comb.NewExec == nil || comb.Base != e.Name || !comb.Extension {
-			t.Errorf("comb-%s: want NewExec set, Base=%q, Extension", e.Name, e.Name)
-		}
-		if comb.NewMutex != nil || comb.NewTry != nil || comb.NewRW != nil {
-			t.Errorf("comb-%s: derived entries are exec-only", e.Name)
-		}
+	}
+	// The two derivations differ in policy: comb-a-* executors expose
+	// an occupancy estimate, comb-* executors do not.
+	topo := numa.New(2, 4)
+	if _, ok := locks.EstimateOccupancy(byName["comb-a-mcs"].NewExec(topo)); !ok {
+		t.Error("comb-a-mcs executor has no occupancy estimate")
+	}
+	if _, ok := locks.EstimateOccupancy(byName["comb-mcs"].NewExec(topo)); ok {
+		t.Error("comb-mcs executor claims an occupancy estimate")
 	}
 	for _, e := range Combining() {
 		base, ok := byName[e.Base]

@@ -116,6 +116,29 @@ func TestExecFactoryAdaptsMutexEntries(t *testing.T) {
 	}
 }
 
+// TestEveryRWExecFactoryPassesLocktest round-trips every lockable
+// entry's shared-mode executor (RWExecFactory: ExecFromRWMutex over
+// the entry's RW face) through locktest.CheckRWExec: concurrent
+// shared batches coexist where sharing is genuine, exclusive closures
+// exclude them, no lost or double-run ops — automatically for any
+// future registration.
+func TestEveryRWExecFactoryPassesLocktest(t *testing.T) {
+	for _, e := range All() {
+		if e.NewRW == nil && e.NewMutex == nil {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			topo := numa.New(2, 8)
+			x := e.RWExecFactory(topo)()
+			if got, want := locks.SharesExecReads(x), e.NewRW != nil; got != want {
+				t.Fatalf("SharesExecReads = %v, want %v (NewRW %v)", got, want, e.NewRW != nil)
+			}
+			locktest.CheckRWExec(t, topo, x, 5, 3, 150)
+		})
+	}
+}
+
 // TestNewLocksSatisfyFairnessHarness runs the extension locks through
 // the starvation check: every proc must complete its quota despite
 // CNA's deferral and GCR's admission throttling.

@@ -45,6 +45,26 @@
 // left at "all". JSON records carry the new knobs (combiner,
 // batch_mode, avg_batch).
 //
+// -valuemem switches the store's value backend for any table: "heap"
+// (the default: values are GC-managed []byte) or "arena" (values live
+// in per-shard explicit-free arenas homed on the shard's cluster, off
+// the GC heap). Arena cells carry a value_memory knob in their JSON
+// records; heap records are unchanged, so pre-arena envelopes stay
+// comparable.
+//
+// -churn emits the value-memory exhibit directly: heap and arena
+// column pairs per lock on a write-heavy mix with values drawn from
+// [64,512] bytes — the overwrite churn that makes heap mode allocate
+// on most sets — with three tables: speedup, Go heap allocs per
+// operation, and total GC pause. JSON records carry allocs_per_op,
+// gc_pause_ms and arena_spills, and -compare gates on allocs_per_op
+// rising just as it gates on ops_per_sec dropping.
+//
+// -shardstats prints a per-shard counter table after each standard or
+// churn cell: gets, sets, evictions, arena spills, and the maximum
+// combining-executor occupancy estimate sampled while the load ran
+// (comb-a-* columns only; other locks have no estimator and show "-").
+//
 // -compare old.json new.json leaves measurement entirely: it diffs two
 // kvbench JSON envelopes (the -json output, CI's uploaded artifact)
 // cell by cell through internal/benchfmt and exits nonzero when any
@@ -82,9 +102,22 @@ type options struct {
 	reads     float64
 	batch     int
 	adaptive  bool
+	churn     bool
+	valueMem  kvstore.ValueMemory
+	shardStat bool
 	placement kvstore.Placement
 	csv       bool
 	jsonOut   bool
+}
+
+// vmLabel is the records' value_memory identity field: empty for the
+// default heap mode, so heap envelopes stay byte-identical to the
+// pre-arena format and keep comparing against older artifacts.
+func (o options) vmLabel() string {
+	if o.valueMem == kvstore.ValueHeap {
+		return ""
+	}
+	return o.valueMem.String()
 }
 
 // record is one measured cell, emitted under -json.
@@ -116,6 +149,21 @@ type record struct {
 	// adaptive client actually issued.
 	BatchMode string  `json:"batch_mode,omitempty"`
 	AvgBatch  float64 `json:"avg_batch,omitempty"`
+	// ValueMemory is the value backend knob: "arena" for arena-backed
+	// cells, empty (omitted) for the default heap mode so pre-arena
+	// envelopes keep matching. -churn cells always set it — both
+	// "heap" and "arena" — so the exhibit's heap half never collides
+	// with a standard-table cell of the same lock and mix.
+	ValueMemory string `json:"value_memory,omitempty"`
+	// AllocsPerOp and GCPauseMs are populated by -churn cells:
+	// Go heap allocations per operation and total stop-the-world GC
+	// pause over the window. Pointers, because an arena cell's genuine
+	// 0.00 must still be emitted where omitempty would drop it.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	GCPauseMs   *float64 `json:"gc_pause_ms,omitempty"`
+	// Spills counts values that fell back to the GC heap because a
+	// shard's arena was exhausted (arena cells only).
+	Spills uint64 `json:"arena_spills,omitempty"`
 }
 
 func main() {
@@ -129,6 +177,9 @@ func main() {
 		readsFlag     = flag.Float64("reads", 0, "read fraction for the RW read-path table (e.g. 0.99); >0 replaces -mix and compares shared vs exclusive Gets")
 		batchFlag     = flag.Int("batch", 0, "batch size for the batched-pipeline table (e.g. 16); >0 drives MGet/MSet batches and adds an ops-per-acquisition table")
 		adaptiveFlag  = flag.Bool("adaptive", false, "emit the adaptive-hot-path tables: fixed vs adaptive combining, shared vs exclusive batched MGet, fixed vs adaptive client batch (one mix: -mix, defaulting to 50)")
+		churnFlag     = flag.Bool("churn", false, "emit the value-memory churn tables: heap vs arena columns per lock on varying-size overwrites, with allocs/op and GC-pause tables (one mix: -mix, defaulting to 10)")
+		valuememFlag  = flag.String("valuemem", "heap", "value backend for the store: heap or arena")
+		shardsatFlag  = flag.Bool("shardstats", false, "print per-shard counters (gets/sets/evictions/spills and sampled max combiner occupancy) after each standard or churn cell")
 		compareFlag   = flag.Bool("compare", false, "compare two kvbench JSON envelopes (args: old.json new.json) and exit nonzero on throughput regressions")
 		regressFlag   = flag.Float64("regress-threshold", benchfmt.DefaultRegressionThreshold, "fractional ops/s drop -compare flags as a regression")
 		clustersFlag  = flag.Int("clusters", 4, "NUMA clusters to simulate")
@@ -148,17 +199,25 @@ func main() {
 	}
 
 	opt := options{
-		clusters: *clustersFlag,
-		duration: *durationFlag,
-		keyspace: *keysFlag,
-		affinity: *affinityFlag,
-		reads:    *readsFlag,
-		batch:    *batchFlag,
-		adaptive: *adaptiveFlag,
-		csv:      *csvFlag,
-		jsonOut:  *jsonFlag,
-		locks:    cli.ParseNameList(*locksFlag),
+		clusters:  *clustersFlag,
+		duration:  *durationFlag,
+		keyspace:  *keysFlag,
+		affinity:  *affinityFlag,
+		reads:     *readsFlag,
+		batch:     *batchFlag,
+		adaptive:  *adaptiveFlag,
+		churn:     *churnFlag,
+		shardStat: *shardsatFlag,
+		csv:       *csvFlag,
+		jsonOut:   *jsonFlag,
+		locks:     cli.ParseNameList(*locksFlag),
 	}
+	vm, err := kvstore.ParseValueMemory(*valuememFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvbench: %v\n", err)
+		os.Exit(2)
+	}
+	opt.valueMem = vm
 	switch *mixFlag {
 	case "all":
 		opt.mixes = []int{90, 50, 10}
@@ -205,6 +264,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kvbench: -affinity is a per-operation knob; unsupported with batched pipelines\n")
 		os.Exit(2)
 	}
+	if opt.churn {
+		if opt.batch > 0 || opt.reads > 0 || opt.adaptive {
+			fmt.Fprintf(os.Stderr, "kvbench: -churn selects its own table; it combines with none of -batch, -reads, -adaptive\n")
+			os.Exit(2)
+		}
+		if opt.valueMem != kvstore.ValueHeap {
+			fmt.Fprintf(os.Stderr, "kvbench: -churn measures both value-memory modes itself; -valuemem applies to the other tables\n")
+			os.Exit(2)
+		}
+		// The churn tables run at a single mix, defaulting to the
+		// write-heavy workload where value turnover actually happens.
+		if *mixFlag == "all" {
+			opt.mixes = []int{10}
+		}
+	}
 	if opt.adaptive {
 		// The adaptive tables pick their own defaults for the knobs the
 		// user left unset: a 16-key pipeline and a 90% read mix. The
@@ -229,7 +303,11 @@ func main() {
 		}
 	}
 	if len(opt.locks) == 0 {
-		if opt.adaptive {
+		if opt.churn {
+			// The churn exhibit doubles every lock into a heap/arena
+			// column pair; a compact headline set keeps the table legible.
+			opt.locks = []string{"mcs", "c-bo-mcs", "cna"}
+		} else if opt.adaptive {
 			// Base locks whose comb-/comb-a- twins the combining tables
 			// race; the shared-read table uses the rw-* family.
 			opt.locks = []string{"mcs", "c-bo-mcs", "cna"}
@@ -274,6 +352,14 @@ func run(opt options) error {
 
 	var records []record
 	switch {
+	case opt.churn:
+		for _, mix := range opt.mixes {
+			recs, err := runChurn(opt, topo, mix)
+			if err != nil {
+				return err
+			}
+			records = append(records, recs...)
+		}
 	case opt.adaptive:
 		recs, err := runAdaptive(opt, topo)
 		if err != nil {
@@ -337,7 +423,7 @@ func sizeShards(cfg *kvstore.Config, opt options, topo *numa.Topology, shards in
 // path, one lock instance per shard from the registry factory
 // otherwise.
 func newStore(opt options, topo *numa.Topology, e registry.Entry, shards int) *kvstore.Store {
-	cfg := kvstore.Config{Topo: topo}
+	cfg := kvstore.Config{Topo: topo, ValueMemory: opt.valueMem}
 	if e.NewExec != nil {
 		cfg.NewExec = e.ExecFactory(topo)
 		if shards > 1 {
@@ -368,7 +454,7 @@ func newStoreRW(opt options, topo *numa.Topology, e registry.Entry, shards int, 
 	// -adaptive shared-read table), so a shard group of a client batch
 	// is one critical section and the "batch=N" caption describes what
 	// actually ran; plain -reads runs keep the store default.
-	cfg := kvstore.Config{Topo: topo, MaxBatch: opt.batch}
+	cfg := kvstore.Config{Topo: topo, MaxBatch: opt.batch, ValueMemory: opt.valueMem}
 	if shards <= 1 {
 		cfg.RWLock = f()
 	} else {
@@ -396,7 +482,7 @@ func measureBatch(opt options, topo *numa.Topology, e registry.Entry, threads, g
 	// lock, so combined batches count as the single acquisition they
 	// are.
 	var acquisitions atomic.Uint64
-	cfg := kvstore.Config{Topo: topo, MaxBatch: opt.batch}
+	cfg := kvstore.Config{Topo: topo, MaxBatch: opt.batch, ValueMemory: opt.valueMem}
 	switch {
 	case e.NewExec != nil:
 		// Derived combining entry: rebuild it through WrapExec (the
@@ -493,6 +579,7 @@ func runBatchMix(opt options, topo *numa.Topology, getPct int) ([]record, error)
 					Placement: placement,
 					OpsPerSec: tp, Speedup: stats.Speedup(base, tp),
 					Batch: opt.batch, OpsPerAcq: opsPerAcq,
+					ValueMemory: opt.vmLabel(),
 				})
 				row = append(row, stats.F(stats.Speedup(base, tp), 2))
 				amortRow = append(amortRow, stats.F(opsPerAcq, 1))
@@ -619,6 +706,7 @@ func runAdaptive(opt options, topo *numa.Topology) ([]record, error) {
 						Placement: placement,
 						OpsPerSec: tp, Speedup: stats.Speedup(base, tp),
 						Batch: opt.batch, OpsPerAcq: opsPerAcq, Combiner: combiner,
+						ValueMemory: opt.vmLabel(),
 					})
 					row = append(row, stats.F(stats.Speedup(base, tp), 2))
 					amortRow = append(amortRow, stats.F(opsPerAcq, 1))
@@ -659,6 +747,7 @@ func runAdaptive(opt options, topo *numa.Topology) ([]record, error) {
 						Placement: placement,
 						OpsPerSec: tp, Speedup: stats.Speedup(base, tp),
 						Reads: opt.reads, ReadPath: path, Batch: opt.batch,
+						ValueMemory: opt.vmLabel(),
 					})
 					row = append(row, stats.F(stats.Speedup(base, tp), 2))
 					fmt.Fprintf(os.Stderr, "ran adaptive reads=%g %-14s %-9s threads=%-4d shards=%-3d %.0f ops/s\n",
@@ -692,6 +781,7 @@ func runAdaptive(opt options, topo *numa.Topology) ([]record, error) {
 					OpsPerSec: tp, Speedup: stats.Speedup(base, tp),
 					Batch: opt.batch, Combiner: "adaptive",
 					BatchMode: mode, AvgBatch: avgBatch,
+					ValueMemory: opt.vmLabel(),
 				})
 				row = append(row, stats.F(stats.Speedup(base, tp), 2))
 				if mode == "adaptive" {
@@ -727,11 +817,211 @@ func measure(opt options, topo *numa.Topology, lockName string, threads, getPct,
 	cfg.Duration = opt.duration
 	cfg.Keyspace = opt.keyspace
 	cfg.Affinity = opt.affinity
-	res, err := kvload.Run(cfg, store)
+	label := fmt.Sprintf("%s mix=%d%% threads=%d shards=%d", lockName, getPct, threads, shards)
+	res, err := runLoad(opt, store, cfg, label)
 	if err != nil {
 		return 0, fmt.Errorf("%s @%d x%d shards: %w", lockName, threads, shards, err)
 	}
 	return res.Throughput(), nil
+}
+
+// runLoad runs one cell's load, sampling combining-executor occupancy
+// and printing the per-shard counter table when -shardstats is set.
+func runLoad(opt options, store *kvstore.Store, cfg kvload.Config, label string) (kvload.Result, error) {
+	var (
+		stop  chan struct{}
+		occCh chan []int
+		pre   []kvstore.Stats
+	)
+	if opt.shardStat {
+		// Pre-run snapshots make the table cover only the measured
+		// window; population would otherwise dwarf its counters.
+		pre = make([]kvstore.Stats, store.NumShards())
+		for i := range pre {
+			pre[i] = store.ShardSnapshot(i)
+		}
+		stop, occCh = make(chan struct{}), make(chan []int, 1)
+		go sampleOccupancy(store, stop, occCh)
+	}
+	res, err := kvload.Run(cfg, store)
+	if opt.shardStat {
+		close(stop)
+		occ := <-occCh
+		if err == nil {
+			printShardStats(opt, store, pre, occ, label)
+		}
+	}
+	return res, err
+}
+
+// sampleOccupancy polls every shard's combining-executor occupancy
+// estimate (locks.EstimateOccupancy behind Store.ShardOccupancy) until
+// stop closes, keeping the per-shard maximum. Shards whose lock has no
+// estimator — everything but the comb-a-* columns — stay at -1.
+func sampleOccupancy(store *kvstore.Store, stop <-chan struct{}, done chan<- []int) {
+	max := make([]int, store.NumShards())
+	for i := range max {
+		max[i] = -1
+	}
+	for {
+		select {
+		case <-stop:
+			done <- max
+			return
+		default:
+		}
+		for i := range max {
+			if occ, ok := store.ShardOccupancy(i); ok && occ > max[i] {
+				max[i] = occ
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// printShardStats renders one cell's per-shard counters over the
+// measured window (pre holds each shard's pre-run snapshot). Under
+// -json the table goes to stderr so the envelope on stdout stays
+// parseable.
+func printShardStats(opt options, store *kvstore.Store, pre []kvstore.Stats, occ []int, label string) {
+	tb := stats.NewTable("Shard stats: "+label,
+		"shard", "home", "gets", "sets", "evictions", "spills", "max occ")
+	for i := 0; i < store.NumShards(); i++ {
+		st := store.ShardSnapshot(i)
+		occStr := "-"
+		if occ[i] >= 0 {
+			occStr = fmt.Sprint(occ[i])
+		}
+		tb.AddRow(fmt.Sprint(i), fmt.Sprint(store.ShardHome(i)),
+			fmt.Sprint(st.Gets-pre[i].Gets), fmt.Sprint(st.Sets-pre[i].Sets),
+			fmt.Sprint(st.Evictions-pre[i].Evictions), fmt.Sprint(st.Spills-pre[i].Spills), occStr)
+	}
+	out := os.Stdout
+	if opt.jsonOut {
+		out = os.Stderr
+	}
+	fmt.Fprint(out, cli.Emit(tb, opt.csv))
+	fmt.Fprintln(out)
+}
+
+// Churn workload shape: a write-heavy mix whose set sizes are drawn
+// uniformly from [churnValueSize, churnMaxValueSize]. The size spread
+// is what makes the exhibit honest — fixed-size overwrites reuse the
+// existing buffer in both modes and neither allocates.
+const (
+	churnValueSize    = 64
+	churnMaxValueSize = 512
+)
+
+// measureChurn runs one value-memory cell: the churn workload against
+// a fresh store with the given backend, returning the load result
+// (allocs/op, GC pause) and the store's counters (spills).
+func measureChurn(opt options, topo *numa.Topology, e registry.Entry, threads, getPct, shards int, mem kvstore.ValueMemory) (kvload.Result, kvstore.Stats, error) {
+	o := opt
+	o.valueMem = mem
+	store := newStore(o, topo, e, shards)
+	kvload.PopulateClusters(store, topo, opt.keyspace, 128)
+	runtime.GC() // population litters the heap; keep GC out of the window
+	cfg := kvload.DefaultConfig(topo, threads, getPct)
+	cfg.Duration = opt.duration
+	cfg.Keyspace = opt.keyspace
+	cfg.Affinity = opt.affinity
+	cfg.ValueSize = churnValueSize
+	cfg.MaxValueSize = churnMaxValueSize
+	label := fmt.Sprintf("%s/%s mix=%d%% threads=%d shards=%d", e.Name, mem, getPct, threads, shards)
+	res, err := runLoad(opt, store, cfg, label)
+	if err != nil {
+		return res, kvstore.Stats{}, fmt.Errorf("%s/%s @%d x%d shards: %w", e.Name, mem, threads, shards, err)
+	}
+	return res, store.Snapshot(), nil
+}
+
+// runChurn emits the value-memory exhibit for one mix: per shard
+// count, heap/arena column pairs per lock with three tables — speedup
+// over the heap pthread@1 baseline, Go heap allocations per operation,
+// and total GC pause over the window.
+func runChurn(opt options, topo *numa.Topology, getPct int) ([]record, error) {
+	baseRes, _, err := measureChurn(opt, topo, registry.MustLookup("pthread"), 1, getPct, 1, kvstore.ValueHeap)
+	if err != nil {
+		return nil, err
+	}
+	base := baseRes.Throughput()
+	fmt.Fprintf(os.Stderr, "churn mix %d%% gets, values %d..%dB: pthread@1 heap baseline %.0f ops/s, %.2f allocs/op\n",
+		getPct, churnValueSize, churnMaxValueSize, base, baseRes.AllocsPerOp())
+
+	entries := make([]registry.Entry, 0, len(opt.locks))
+	for _, name := range opt.locks {
+		e, err := registry.Find(name)
+		if err != nil {
+			return nil, err
+		}
+		if e.NewMutex == nil && e.NewExec == nil {
+			return nil, fmt.Errorf("lock %q is abortable-only and cannot guard the store", name)
+		}
+		entries = append(entries, e)
+	}
+	modes := []kvstore.ValueMemory{kvstore.ValueHeap, kvstore.ValueArena}
+
+	var records []record
+	for _, shards := range opt.shards {
+		suffix := ""
+		if shards > 1 {
+			suffix = fmt.Sprintf(" [%d shards, %s placement]", shards, opt.placement)
+		}
+		caption := fmt.Sprintf("(%d%% gets, values %d..%dB)", getPct, churnValueSize, churnMaxValueSize)
+		headers := []string{"threads"}
+		for _, e := range entries {
+			headers = append(headers, e.Name+"/heap", e.Name+"/arena")
+		}
+		tb := stats.NewTable(fmt.Sprintf("Value churn %s: speedup over pthread@1 heap%s", caption, suffix), headers...)
+		ab := stats.NewTable(fmt.Sprintf("Value churn %s: Go heap allocs per op%s", caption, suffix), headers...)
+		gb := stats.NewTable(fmt.Sprintf("Value churn %s: total GC pause ms%s", caption, suffix), headers...)
+		for _, n := range opt.threads {
+			row := []string{fmt.Sprint(n)}
+			aRow := []string{fmt.Sprint(n)}
+			gRow := []string{fmt.Sprint(n)}
+			for _, e := range entries {
+				for _, mem := range modes {
+					res, st, err := measureChurn(opt, topo, e, n, getPct, shards, mem)
+					if err != nil {
+						return nil, err
+					}
+					placement := opt.placement.String()
+					if shards <= 1 {
+						placement = "single"
+					}
+					tp := res.Throughput()
+					allocs := res.AllocsPerOp()
+					pause := float64(res.GCPauseNs) / 1e6
+					records = append(records, record{
+						Mix: getPct, Lock: e.Name, Threads: n, Shards: shards,
+						Placement: placement,
+						OpsPerSec: tp, Speedup: stats.Speedup(base, tp),
+						ValueMemory: mem.String(),
+						AllocsPerOp: &allocs, GCPauseMs: &pause,
+						Spills: st.Spills,
+					})
+					row = append(row, stats.F(stats.Speedup(base, tp), 2))
+					aRow = append(aRow, stats.F(allocs, 2))
+					gRow = append(gRow, stats.F(pause, 2))
+					fmt.Fprintf(os.Stderr, "ran churn mix=%d%% %-10s %-5s threads=%-4d shards=%-3d %.0f ops/s %.2f allocs/op %.2fms gc (%d spills)\n",
+						getPct, e.Name, mem, n, shards, tp, allocs, pause, st.Spills)
+				}
+			}
+			tb.AddRow(row...)
+			ab.AddRow(aRow...)
+			gb.AddRow(gRow...)
+		}
+		if !opt.jsonOut {
+			fmt.Print(cli.Emit(tb, opt.csv))
+			fmt.Println()
+			fmt.Print(cli.Emit(ab, opt.csv))
+			fmt.Println()
+			fmt.Print(cli.Emit(gb, opt.csv))
+			fmt.Println()
+		}
+	}
+	return records, nil
 }
 
 // measureRW runs one RW-table cell: the -reads fraction against a
@@ -821,6 +1111,7 @@ func runRW(opt options, topo *numa.Topology) ([]record, error) {
 					Placement: placement, Affinity: affinity,
 					OpsPerSec: tp, Speedup: stats.Speedup(base, tp),
 					Reads: opt.reads, ReadPath: path,
+					ValueMemory: opt.vmLabel(),
 				})
 				row = append(row, stats.F(stats.Speedup(base, tp), 2))
 				fmt.Fprintf(os.Stderr, "ran reads=%g %-14s threads=%-4d shards=%-3d %.0f ops/s\n",
@@ -871,6 +1162,7 @@ func runMix(opt options, topo *numa.Topology, getPct int) ([]record, error) {
 					Mix: getPct, Lock: name, Threads: n, Shards: shards,
 					Placement: placement, Affinity: affinity,
 					OpsPerSec: tp, Speedup: stats.Speedup(base, tp),
+					ValueMemory: opt.vmLabel(),
 				})
 				row = append(row, stats.F(stats.Speedup(base, tp), 2))
 				fmt.Fprintf(os.Stderr, "ran mix=%d%% %-10s threads=%-4d shards=%-3d %.0f ops/s\n",

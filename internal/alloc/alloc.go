@@ -62,8 +62,15 @@ type Config struct {
 	// Topo sizes per-proc statistics.
 	Topo *numa.Topology
 	// Lock is the allocator's single global lock (the interposition
-	// point).
+	// point). Nil only under Unguarded.
 	Lock locks.Mutex
+	// Unguarded builds an allocator with no lock of its own: every
+	// operation must go through MallocUnguarded/FreeUnguarded under
+	// caller-supplied mutual exclusion (a kvstore shard's single-writer
+	// critical section, say). This is the seam that lets an arena run
+	// under an enclosing lock instead of double-locking its own; Lock
+	// must be nil.
+	Unguarded bool
 	// ArenaBytes is the arena capacity. Default 64 MiB.
 	ArenaBytes int
 	// LocalNs/RemoteNs are the latencies charged when a block's last
@@ -110,7 +117,10 @@ func New(cfg Config) (*Allocator, error) {
 	if cfg.Topo == nil {
 		return nil, fmt.Errorf("alloc: nil topology")
 	}
-	if cfg.Lock == nil {
+	if cfg.Unguarded && cfg.Lock != nil {
+		return nil, fmt.Errorf("alloc: unguarded allocator cannot also have a lock")
+	}
+	if !cfg.Unguarded && cfg.Lock == nil {
 		return nil, fmt.Errorf("alloc: nil lock")
 	}
 	if cfg.ArenaBytes <= 0 {
@@ -178,6 +188,9 @@ func (a *Allocator) touch(p *numa.Proc, sl *allocSlot, prevOwner int32) {
 // Malloc allocates n bytes and returns the payload offset. The offset
 // is stable for the allocator's lifetime; use Bytes to access it.
 func (a *Allocator) Malloc(p *numa.Proc, n int) (uint32, error) {
+	if a.lock == nil {
+		return 0, fmt.Errorf("alloc: Malloc on an unguarded allocator; use MallocUnguarded under external exclusion")
+	}
 	if n <= 0 {
 		return 0, fmt.Errorf("alloc: malloc of %d bytes", n)
 	}
@@ -186,6 +199,24 @@ func (a *Allocator) Malloc(p *numa.Proc, n int) (uint32, error) {
 	a.lock.Lock(p)
 	off, err := a.mallocLocked(p, sl, size)
 	a.lock.Unlock(p)
+	if err != nil {
+		return 0, err
+	}
+	sl.mallocs++
+	return off, nil
+}
+
+// MallocUnguarded is Malloc for an Unguarded allocator: the identical
+// allocation protocol with no lock acquisition. The caller must hold
+// whatever mutual exclusion guards this arena — every structure the
+// call touches (bins, tree, wilderness, headers) is written assuming a
+// single writer.
+func (a *Allocator) MallocUnguarded(p *numa.Proc, n int) (uint32, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("alloc: malloc of %d bytes", n)
+	}
+	sl := &a.slots[p.ID()]
+	off, err := a.mallocLocked(p, sl, roundSize(n))
 	if err != nil {
 		return 0, err
 	}
@@ -265,25 +296,53 @@ func (a *Allocator) freeBlockLocked(p *numa.Proc, off, size uint32) {
 // paper's Table 2 analysis rests on). Freeing a non-allocated offset
 // returns an error and leaves the allocator unchanged.
 func (a *Allocator) Free(p *numa.Proc, off uint32) error {
+	if a.lock == nil {
+		return fmt.Errorf("alloc: Free on an unguarded allocator; use FreeUnguarded under external exclusion")
+	}
 	if off < headerSize {
 		return fmt.Errorf("alloc: free of invalid offset %d", off)
 	}
 	sl := &a.slots[p.ID()]
 	a.lock.Lock(p)
-	if int(off) > int(a.brk) { // brk is lock-protected
-		a.lock.Unlock(p)
+	err := a.freeLocked(p, sl, off)
+	a.lock.Unlock(p)
+	if err != nil {
+		return err
+	}
+	sl.frees++
+	return nil
+}
+
+// FreeUnguarded is Free for an Unguarded allocator: the identical free
+// protocol with no lock acquisition; the caller must hold the arena's
+// external exclusion.
+func (a *Allocator) FreeUnguarded(p *numa.Proc, off uint32) error {
+	if off < headerSize {
+		return fmt.Errorf("alloc: free of invalid offset %d", off)
+	}
+	sl := &a.slots[p.ID()]
+	if err := a.freeLocked(p, sl, off); err != nil {
+		return err
+	}
+	sl.frees++
+	return nil
+}
+
+// freeLocked is a free's critical section: header validation, the
+// locality charge, and insertion into the bin or tree. Callers hold
+// the allocator's exclusion (its own lock, or the external one of an
+// unguarded arena).
+func (a *Allocator) freeLocked(p *numa.Proc, sl *allocSlot, off uint32) error {
+	if int(off) > int(a.brk) { // brk is exclusion-protected
 		return fmt.Errorf("alloc: free of invalid offset %d", off)
 	}
 	size, owner, state := a.readHeader(off)
 	if state != stateAlloc {
-		a.lock.Unlock(p)
 		return fmt.Errorf("alloc: double free or corruption at %d", off)
 	}
 	a.touch(p, sl, owner)
 	a.writeHeader(off, size, int32(p.Cluster()), stateFree)
 	a.freeBlockLocked(p, off, size)
-	a.lock.Unlock(p)
-	sl.frees++
 	return nil
 }
 
@@ -295,9 +354,31 @@ func (a *Allocator) UsableSize(off uint32) uint32 {
 
 // Bytes returns the payload bytes [off, off+n). n must not exceed the
 // block's usable size; exceeding it corrupts neighbouring blocks just
-// like real malloc, so tests guard it with Fsck.
+// like real malloc, so tests guard it with Fsck. The capacity is
+// clamped to n so an append through the returned slice reallocates
+// instead of silently overrunning the neighbouring block's header.
 func (a *Allocator) Bytes(off uint32, n int) []byte {
-	return a.arena[off : off+uint32(n)]
+	return a.arena[off : off+uint32(n) : off+uint32(n)]
+}
+
+// LiveBlocks walks the arena and counts currently allocated blocks —
+// the leak probe explicit-free owners (the kvstore arena lifecycle
+// tests) compare against their own live-object count. Like Fsck it is
+// intended for quiescent callers and is not thread-safe.
+func (a *Allocator) LiveBlocks() int {
+	live := 0
+	for pos := uint32(0); pos < a.brk; {
+		off := pos + headerSize
+		size, _, state := a.readHeader(off)
+		if size == 0 || size%alignment != 0 {
+			return live // corrupt heap; Fsck reports the details
+		}
+		if state == stateAlloc {
+			live++
+		}
+		pos += headerSize + size
+	}
+	return live
 }
 
 // Snapshot aggregates statistics; call while callers are quiescent.

@@ -327,3 +327,103 @@ func TestConcurrentMallocFree(t *testing.T) {
 		t.Fatalf("mallocs %d != frees %d after full drain", st.Mallocs, st.Frees)
 	}
 }
+
+func newUnguardedAlloc(t *testing.T) (*Allocator, *numa.Topology) {
+	t.Helper()
+	topo := numa.New(4, 16)
+	a, err := New(Config{
+		Topo: topo, Unguarded: true,
+		ArenaBytes: 1 << 20,
+		LocalNs:    1, RemoteNs: 1, Cache: cachesim.Config{LocalNs: 1, RemoteNs: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, topo
+}
+
+func TestUnguardedValidation(t *testing.T) {
+	topo := numa.New(2, 2)
+	if _, err := New(Config{Topo: topo, Unguarded: true, Lock: locks.NewPthread(), ArenaBytes: 1 << 12, LocalNs: 1, RemoteNs: 1, Cache: cachesim.Config{LocalNs: 1, RemoteNs: 1}}); err == nil {
+		t.Error("unguarded allocator with a lock accepted")
+	}
+}
+
+// TestUnguardedRoundTrip exercises the external-exclusion seam: the
+// same malloc/write/free protocol as the guarded path, ending
+// Fsck-clean, with the guarded entry points refusing to run.
+func TestUnguardedRoundTrip(t *testing.T) {
+	a, topo := newUnguardedAlloc(t)
+	p := topo.Proc(0)
+	if _, err := a.Malloc(p, 64); err == nil {
+		t.Error("guarded Malloc ran on an unguarded allocator")
+	}
+	off, err := a.MallocUnguarded(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := a.Bytes(off, 64)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := a.Free(p, off); err == nil {
+		t.Error("guarded Free ran on an unguarded allocator")
+	}
+	if err := a.FreeUnguarded(p, off); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FreeUnguarded(p, off); err == nil {
+		t.Error("unguarded double free undetected")
+	}
+	if err := a.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBytesCapClamped guards the three-index slice in Bytes: the view
+// must not be appendable or re-sliceable past the requested length, or
+// a caller growing it in place would scribble over the next block's
+// header.
+func TestBytesCapClamped(t *testing.T) {
+	a, topo := newTestAlloc(t)
+	p := topo.Proc(0)
+	off, err := a.Malloc(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf := a.Bytes(off, 64); cap(buf) != 64 {
+		t.Fatalf("Bytes cap = %d, want exactly 64", cap(buf))
+	}
+}
+
+func TestLiveBlocks(t *testing.T) {
+	a, topo := newUnguardedAlloc(t)
+	p := topo.Proc(0)
+	var offs []uint32
+	for i := 0; i < 10; i++ {
+		off, err := a.MallocUnguarded(p, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	if n := a.LiveBlocks(); n != 10 {
+		t.Fatalf("LiveBlocks = %d after 10 mallocs, want 10", n)
+	}
+	for _, off := range offs[:4] {
+		if err := a.FreeUnguarded(p, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := a.LiveBlocks(); n != 6 {
+		t.Fatalf("LiveBlocks = %d after 4 frees, want 6", n)
+	}
+	for _, off := range offs[4:] {
+		if err := a.FreeUnguarded(p, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := a.LiveBlocks(); n != 0 {
+		t.Fatalf("LiveBlocks = %d after freeing all, want 0", n)
+	}
+}

@@ -31,8 +31,17 @@ type splayNode struct {
 type splayTree struct {
 	root *splayNode
 	free *splayNode // node recycle list, chained via right
+	slab []splayNode
 	n    int
 }
+
+// nodeSlab is how many splayNodes are carved from one Go allocation.
+// While the free-block population grows (a store draining its arena,
+// the first overwrite sweep of a fresh workload) every insert needs a
+// node the recycle list can't supply yet; node-at-a-time allocation
+// would put ~1 Go allocation on that free path, which is precisely
+// the traffic an arena-backed caller adopted this allocator to avoid.
+const nodeSlab = 512
 
 // splay moves the node closest to k (k itself if present) to the root.
 func (t *splayTree) splay(k bkey) {
@@ -93,7 +102,13 @@ func (t *splayTree) newNode(k bkey) *splayNode {
 		n.left, n.right = nil, nil
 		return n
 	}
-	return &splayNode{k: k}
+	if len(t.slab) == 0 {
+		t.slab = make([]splayNode, nodeSlab)
+	}
+	n := &t.slab[0]
+	t.slab = t.slab[1:]
+	n.k = k
+	return n
 }
 
 func (t *splayTree) putNode(n *splayNode) {

@@ -43,6 +43,10 @@ var metricFields = map[string]bool{
 	"speedup_vs_pthread1": true,
 	"ops_per_acq":         true,
 	"avg_batch":           true,
+	// value-memory metrics (kvbench churn cells).
+	"allocs_per_op": true,
+	"gc_pause_ms":   true,
+	"arena_spills":  true,
 	// lbench's sweep metrics.
 	"pairs_per_sec":       true,
 	"misses_per_cs":       true,
@@ -50,16 +54,21 @@ var metricFields = map[string]bool{
 	"abort_pct":           true,
 }
 
-// Regression is one flagged cell: its identity, both throughput
-// readings, and the fractional change ((new-old)/old, negative =
-// slower).
+// Regression is one flagged cell metric: the cell's identity, which
+// metric regressed (ops_per_sec dropping or allocs_per_op rising),
+// both readings, and the fractional change ((new-old)/old; negative =
+// slower for throughput, positive = more allocating for allocs).
 type Regression struct {
 	Cell     string
+	Metric   string
 	Old, New float64
 	Delta    float64
 }
 
 func (r Regression) String() string {
+	if r.Metric == "allocs_per_op" {
+		return fmt.Sprintf("%s: %.2f -> %.2f allocs/op (%+.1f%%)", r.Cell, r.Old, r.New, r.Delta*100)
+	}
 	return fmt.Sprintf("%s: %.0f -> %.0f ops/s (%+.1f%%)", r.Cell, r.Old, r.New, r.Delta*100)
 }
 
@@ -83,33 +92,51 @@ func cellKey(rec map[string]any) string {
 	return b.String()
 }
 
-// parseCells decodes one envelope into cell -> ops_per_sec. Cells
-// without an ops_per_sec metric (other tools' record shapes) are
-// skipped; duplicate cells keep the last reading, matching how a
-// re-measured cell would supersede an earlier one in the same run.
-func parseCells(data []byte) (map[string]float64, error) {
+// cellMetrics are one cell's gated readings; has* record whether the
+// record carried the metric at all (other tools' record shapes omit
+// them).
+type cellMetrics struct {
+	ops, allocs       float64
+	hasOps, hasAllocs bool
+}
+
+// parseCells decodes one envelope into cell -> gated metrics. Cells
+// without any gated metric are skipped; duplicate cells keep the last
+// reading, matching how a re-measured cell would supersede an earlier
+// one in the same run.
+func parseCells(data []byte) (map[string]cellMetrics, error) {
 	var recs []map[string]any
 	if err := json.Unmarshal(data, &recs); err != nil {
 		return nil, fmt.Errorf("benchfmt: parsing envelope: %w", err)
 	}
-	cells := make(map[string]float64, len(recs))
+	cells := make(map[string]cellMetrics, len(recs))
 	for _, rec := range recs {
-		ops, ok := rec["ops_per_sec"].(float64)
-		if !ok {
-			continue
+		var m cellMetrics
+		m.ops, m.hasOps = rec["ops_per_sec"].(float64)
+		m.allocs, m.hasAllocs = rec["allocs_per_op"].(float64)
+		if m.hasOps || m.hasAllocs {
+			cells[cellKey(rec)] = m
 		}
-		cells[cellKey(rec)] = ops
 	}
 	return cells, nil
 }
 
+// minAllocRegression is the absolute allocs/op increase a flagged
+// alloc regression must also clear: near-zero cells (an arena mode
+// column at 0.001 allocs/op, say) double on background noise alone,
+// and a purely fractional threshold would gate on that noise.
+const minAllocRegression = 0.5
+
 // Diff compares two benchmark envelopes (the JSON arrays Write emits)
-// cell by cell and returns the cells whose ops_per_sec dropped by more
-// than threshold (fractional; <= 0 selects
-// DefaultRegressionThreshold), sorted worst first, plus how many cells
-// the two envelopes had in common. Cells present in only one envelope
-// are ignored: a trajectory gate must tolerate tables gaining and
-// losing columns across PRs.
+// cell by cell and returns the cells that regressed by more than
+// threshold (fractional; <= 0 selects DefaultRegressionThreshold),
+// sorted worst first, plus how many cells the two envelopes had in
+// common. Two metrics gate: ops_per_sec dropping, and — for cells
+// that carry it — allocs_per_op rising (by more than the threshold
+// AND by at least minAllocRegression absolute, so near-zero alloc
+// counts don't flag on noise). Cells present in only one envelope are
+// ignored: a trajectory gate must tolerate tables gaining and losing
+// columns across PRs.
 func Diff(oldJSON, newJSON []byte, threshold float64) (regs []Regression, compared int, err error) {
 	if threshold <= 0 {
 		threshold = DefaultRegressionThreshold
@@ -122,17 +149,39 @@ func Diff(oldJSON, newJSON []byte, threshold float64) (regs []Regression, compar
 	if err != nil {
 		return nil, 0, err
 	}
-	for cell, oldOps := range oldCells {
-		newOps, ok := newCells[cell]
-		if !ok || oldOps <= 0 {
+	for cell, o := range oldCells {
+		n, ok := newCells[cell]
+		if !ok {
 			continue
 		}
-		compared++
-		delta := (newOps - oldOps) / oldOps
-		if delta < -threshold {
-			regs = append(regs, Regression{Cell: cell, Old: oldOps, New: newOps, Delta: delta})
+		matched := false
+		if o.hasOps && n.hasOps && o.ops > 0 {
+			matched = true
+			delta := (n.ops - o.ops) / o.ops
+			if delta < -threshold {
+				regs = append(regs, Regression{Cell: cell, Metric: "ops_per_sec", Old: o.ops, New: n.ops, Delta: delta})
+			}
+		}
+		if o.hasAllocs && n.hasAllocs && o.allocs > 0 {
+			matched = true
+			delta := (n.allocs - o.allocs) / o.allocs
+			if delta > threshold && n.allocs-o.allocs >= minAllocRegression {
+				regs = append(regs, Regression{Cell: cell, Metric: "allocs_per_op", Old: o.allocs, New: n.allocs, Delta: delta})
+			}
+		}
+		if matched {
+			compared++
 		}
 	}
-	sort.Slice(regs, func(i, j int) bool { return regs[i].Delta < regs[j].Delta })
+	// Worst first across both metrics: largest fractional change in
+	// either direction.
+	sort.Slice(regs, func(i, j int) bool { return abs(regs[i].Delta) > abs(regs[j].Delta) })
 	return regs, compared, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }

@@ -157,6 +157,76 @@ func TestDiffIdentityIncludesUnknownKnobs(t *testing.T) {
 	}
 }
 
+func TestDiffFlagsAllocRegressions(t *testing.T) {
+	oldJSON := []byte(`[
+	  {"lock":"mcs","value_memory":"arena","ops_per_sec":1000,"allocs_per_op":2.0},
+	  {"lock":"cna","value_memory":"arena","ops_per_sec":1000,"allocs_per_op":2.0}
+	]`)
+	newJSON := []byte(`[
+	  {"lock":"mcs","value_memory":"arena","ops_per_sec":1000,"allocs_per_op":5.0},
+	  {"lock":"cna","value_memory":"arena","ops_per_sec":1000,"allocs_per_op":2.1}
+	]`)
+	regs, compared, err := Diff(oldJSON, newJSON, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 2 {
+		t.Errorf("compared %d cells, want 2", compared)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("flagged %d regressions, want 1 (only mcs's allocs rose past threshold): %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Metric != "allocs_per_op" || !strings.Contains(r.Cell, "lock=mcs") {
+		t.Errorf("wrong regression flagged: %+v", r)
+	}
+	if r.Old != 2.0 || r.New != 5.0 || r.Delta != 1.5 {
+		t.Errorf("regression = %+v, want old 2 new 5 delta 1.5", r)
+	}
+	if s := r.String(); !strings.Contains(s, "allocs/op") {
+		t.Errorf("String() = %q, want an allocs/op mention", s)
+	}
+}
+
+func TestDiffAllocNoiseFloor(t *testing.T) {
+	// Near-zero alloc counts double on background noise alone; the
+	// absolute floor keeps them from gating. 0.01 -> 0.05 is +400%
+	// but only 0.04 allocs/op — not a regression.
+	oldJSON := []byte(`[{"lock":"mcs","ops_per_sec":1000,"allocs_per_op":0.01}]`)
+	newJSON := []byte(`[{"lock":"mcs","ops_per_sec":1000,"allocs_per_op":0.05}]`)
+	regs, compared, err := Diff(oldJSON, newJSON, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 1 || len(regs) != 0 {
+		t.Fatalf("compared %d / flagged %v, want 1 compared, none flagged", compared, regs)
+	}
+}
+
+func TestDiffWorstFirstAcrossMetrics(t *testing.T) {
+	// A -30% throughput drop and a +200% alloc rise on different
+	// cells: the alloc regression is fractionally worse and sorts
+	// first.
+	oldJSON := []byte(`[
+	  {"lock":"a","ops_per_sec":1000},
+	  {"lock":"b","ops_per_sec":1000,"allocs_per_op":1.0}
+	]`)
+	newJSON := []byte(`[
+	  {"lock":"a","ops_per_sec":700},
+	  {"lock":"b","ops_per_sec":1000,"allocs_per_op":3.0}
+	]`)
+	regs, _, err := Diff(oldJSON, newJSON, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("flagged %d regressions, want 2: %v", len(regs), regs)
+	}
+	if regs[0].Metric != "allocs_per_op" || regs[1].Metric != "ops_per_sec" {
+		t.Fatalf("order = [%s, %s], want allocs first (worse fractional change)", regs[0].Metric, regs[1].Metric)
+	}
+}
+
 func TestDiffRejectsMalformedEnvelopes(t *testing.T) {
 	good := env(t, [3]any{"mcs", 4, 1000.0})
 	if _, _, err := Diff([]byte("not json"), good, 0); err == nil {

@@ -1,0 +1,59 @@
+package kvload
+
+import (
+	"testing"
+
+	"repro/internal/kvstore"
+	"repro/internal/locks"
+	"repro/internal/numa"
+	"repro/internal/spin"
+)
+
+// TestHotPathAllocationFree pins the property the allocs/op columns
+// rest on: at steady state (caps ratcheted, arena blocks sized) no
+// per-operation Go allocation happens anywhere on the measured path —
+// not in the store, not in the harness's think/rand helpers. A
+// regression here (say, a result variable captured by an escaping
+// closure) would inflate every kvbench alloc column and drown the
+// heap-vs-arena signal the churn exhibit measures.
+func TestHotPathAllocationFree(t *testing.T) {
+	topo := numa.New(4, 16)
+	p := topo.Proc(0)
+	val := make([]byte, 512)
+	dst := make([]byte, 512)
+	sizes := []int{64, 512, 200, 96, 448}
+
+	stores := map[string]*kvstore.Store{
+		"heap": kvstore.New(kvstore.Config{
+			Topo: topo, Lock: locks.NewPthread(), Buckets: 1 << 12, Capacity: 1 << 13,
+		}),
+		"arena": kvstore.New(kvstore.Config{
+			Topo: topo, Lock: locks.NewPthread(), Buckets: 1 << 12, Capacity: 1 << 13,
+			ValueMemory: kvstore.ValueArena, ArenaBytes: 16 << 20,
+		}),
+	}
+	for name, s := range stores {
+		for k := uint64(0); k < 1000; k++ {
+			s.Set(p, k, val)
+		}
+		i := 0
+		if n := testing.AllocsPerRun(2000, func() {
+			s.Set(p, uint64(i%1000), val[:sizes[i%len(sizes)]])
+			i++
+		}); n > 0 {
+			t.Errorf("%s Set: %.3f allocs/op at steady state, want 0", name, n)
+		}
+		if n := testing.AllocsPerRun(2000, func() { s.Get(p, 1, dst) }); n > 0 {
+			t.Errorf("%s Get: %.3f allocs/op, want 0", name, n)
+		}
+		if n := testing.AllocsPerRun(2000, func() { s.Delete(p, 999999) }); n > 0 {
+			t.Errorf("%s Delete miss: %.3f allocs/op, want 0", name, n)
+		}
+	}
+	if n := testing.AllocsPerRun(2000, func() { spin.WaitNs(1000) }); n > 0 {
+		t.Errorf("spin.WaitNs: %.3f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(2000, func() { p.RandN(1000) }); n > 0 {
+		t.Errorf("RandN: %.3f allocs/op, want 0", n)
+	}
+}

@@ -9,6 +9,7 @@ package kvload
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,14 @@ type Config struct {
 	Keyspace uint64
 	// ValueSize is the value payload in bytes.
 	ValueSize int
+	// MaxValueSize, when greater than ValueSize, makes each set draw
+	// its payload size uniformly from [ValueSize, MaxValueSize] — the
+	// overwrite-churn shape that exercises value memory management:
+	// a growing overwrite forces a reallocation (GC heap) or a block
+	// exchange (arena), where fixed-size overwrites reuse the buffer
+	// in place forever. 0 keeps every value exactly ValueSize bytes,
+	// byte for byte the pre-knob loop.
+	MaxValueSize int
 	// ThinkNs is the per-request non-locked work, busy-waited.
 	ThinkNs int64
 	// Affinity is the probability in [0,1] that a worker biases its
@@ -109,6 +118,9 @@ func (c *Config) validate() error {
 	if c.ValueSize <= 0 {
 		return fmt.Errorf("kvload: non-positive value size")
 	}
+	if c.MaxValueSize != 0 && c.MaxValueSize < c.ValueSize {
+		return fmt.Errorf("kvload: max value size %d below value size %d", c.MaxValueSize, c.ValueSize)
+	}
 	if !(c.Affinity >= 0 && c.Affinity <= 1) { // inverted to reject NaN
 		return fmt.Errorf("kvload: affinity %v outside [0,1]", c.Affinity)
 	}
@@ -141,6 +153,26 @@ type Result struct {
 	// zero on the per-op path. Ops/Rounds is the average issued batch
 	// size — the observable an adaptive-batch run is judged by.
 	Rounds uint64
+	// GoAllocs is the number of Go heap objects allocated during the
+	// measured window, process-wide (runtime.MemStats.Mallocs delta) —
+	// the observable the arena value-memory mode is judged by:
+	// GoAllocs/Ops collapses when value churn stops hitting the GC
+	// heap.
+	GoAllocs uint64
+	// GCPauseNs is the total stop-the-world GC pause time accumulated
+	// during the window (runtime.MemStats.PauseTotalNs delta), and
+	// GCCycles how many collections ran.
+	GCPauseNs uint64
+	GCCycles  uint32
+}
+
+// AllocsPerOp reports Go heap allocations per operation over the
+// measured window.
+func (r Result) AllocsPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.GoAllocs) / float64(r.Ops)
 }
 
 // AvgBatch reports the average issued batch size of a batched run, or
@@ -272,14 +304,18 @@ func (a *batchSizer) observe(ops int, svc time.Duration) {
 // calls so think time never pollutes the signal.
 func runBatchedWorker(cfg *Config, store *kvstore.Store, p *numa.Proc, sl *loadSlot, getMille int64, stop *atomic.Bool, start chan struct{}) {
 	b := cfg.BatchSize
+	stride := cfg.ValueSize
+	if cfg.MaxValueSize > stride {
+		stride = cfg.MaxValueSize
+	}
 	getKeys := make([]uint64, 0, b)
 	setKeys := make([]uint64, 0, b)
 	vals := make([][]byte, 0, b)
-	valBuf := make([]byte, b*cfg.ValueSize)
+	valBuf := make([]byte, b*stride)
 	dsts := make([][]byte, b)
-	dstBuf := make([]byte, b*cfg.ValueSize)
+	dstBuf := make([]byte, b*stride)
 	for i := range dsts {
-		dsts[i] = dstBuf[i*cfg.ValueSize : (i+1)*cfg.ValueSize]
+		dsts[i] = dstBuf[i*stride : (i+1)*stride]
 	}
 	lens := make([]int, b)
 	found := make([]bool, b)
@@ -307,9 +343,13 @@ func runBatchedWorker(cfg *Config, store *kvstore.Store, p *numa.Proc, sl *loadS
 			if isGet {
 				getKeys = append(getKeys, key)
 			} else {
-				v := valBuf[len(vals)*cfg.ValueSize : (len(vals)+1)*cfg.ValueSize]
+				vsize := cfg.ValueSize
+				if cfg.MaxValueSize > cfg.ValueSize {
+					vsize += int(p.RandN(int64(cfg.MaxValueSize - cfg.ValueSize + 1)))
+				}
+				v := valBuf[len(vals)*stride : len(vals)*stride+vsize]
 				v[0] = byte(key)
-				v[cfg.ValueSize-1] = sink
+				v[vsize-1] = sink
 				setKeys = append(setKeys, key)
 				vals = append(vals, v)
 			}
@@ -382,8 +422,12 @@ func Run(cfg Config, store *kvstore.Store) (Result, error) {
 				runBatchedWorker(&cfg, store, p, sl, getMille, &stop, start)
 				return
 			}
-			val := make([]byte, cfg.ValueSize)
-			dst := make([]byte, cfg.ValueSize)
+			stride := cfg.ValueSize
+			if cfg.MaxValueSize > stride {
+				stride = cfg.MaxValueSize
+			}
+			val := make([]byte, stride)
+			dst := make([]byte, stride)
 			var sink byte
 			// A cluster with no home shard can never satisfy the
 			// bias (skip it rather than resample futilely every op),
@@ -433,9 +477,13 @@ func Run(cfg Config, store *kvstore.Store) (Result, error) {
 					}
 					sl.gets++
 				} else {
-					val[0] = byte(key)
-					val[cfg.ValueSize-1] = sink
-					store.Set(p, key, val)
+					v := val
+					if cfg.MaxValueSize > cfg.ValueSize {
+						v = val[:cfg.ValueSize+int(p.RandN(int64(cfg.MaxValueSize-cfg.ValueSize+1)))]
+					}
+					v[0] = byte(key)
+					v[len(v)-1] = sink
+					store.Set(p, key, v)
 					sl.sets++
 				}
 				if cfg.ThinkNs > 0 {
@@ -445,13 +493,22 @@ func Run(cfg Config, store *kvstore.Store) (Result, error) {
 			}
 		}(i)
 	}
+	// Bracket the window with memory statistics so every run reports
+	// heap allocations and GC pauses attributable to the measured
+	// operations (population noise is excluded; callers GC beforehand).
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	began := time.Now()
 	close(start)
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	wg.Wait()
+	runtime.ReadMemStats(&msAfter)
 
 	res := Result{PerThread: make([]uint64, cfg.Threads), Elapsed: time.Since(began)}
+	res.GoAllocs = msAfter.Mallocs - msBefore.Mallocs
+	res.GCPauseNs = msAfter.PauseTotalNs - msBefore.PauseTotalNs
+	res.GCCycles = msAfter.NumGC - msBefore.NumGC
 	for i := range slots {
 		res.PerThread[i] = slots[i].ops
 		res.Ops += slots[i].ops

@@ -67,6 +67,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/alloc"
 	"repro/internal/cachesim"
 	"repro/internal/locks"
 	"repro/internal/numa"
@@ -106,6 +107,48 @@ func ParsePlacement(s string) (Placement, error) {
 		return ClusterAffine, nil
 	}
 	return 0, fmt.Errorf("kvstore: unknown placement %q (want hashmod or affine)", s)
+}
+
+// ValueMemory selects where item value bytes live.
+type ValueMemory int
+
+const (
+	// ValueHeap stores each value as a GC-managed []byte — the
+	// pre-arena behavior, byte for byte. A store of N items is N
+	// individually scanned heap objects, placed wherever the Go
+	// allocator chooses.
+	ValueHeap ValueMemory = iota
+	// ValueArena backs each shard's value bytes with its own unguarded
+	// alloc.Allocator arena: one big GC-opaque block per shard, carved
+	// and recycled under the shard's existing single-writer critical
+	// sections. Under ClusterAffine placement each cluster's home-shard
+	// group — and therefore its arenas and the values they hold — is
+	// only ever touched by that cluster, extending the paper's
+	// block-recycling locality from lock metadata to the data plane.
+	// Overwrite, eviction and delete explicitly free the old block;
+	// frees are deferred and flushed in batches so reclamation is
+	// amortized like LRU touches. An exhausted arena spills gracefully
+	// to the GC heap and counts the spill (Stats.Spills).
+	ValueArena
+)
+
+// String names the value-memory mode for tool output.
+func (v ValueMemory) String() string {
+	if v == ValueArena {
+		return "arena"
+	}
+	return "heap"
+}
+
+// ParseValueMemory maps a flag value to a ValueMemory.
+func ParseValueMemory(s string) (ValueMemory, error) {
+	switch s {
+	case "heap":
+		return ValueHeap, nil
+	case "arena":
+		return ValueArena, nil
+	}
+	return 0, fmt.Errorf("kvstore: unknown value memory %q (want heap or arena)", s)
 }
 
 // Config parameterizes a Store.
@@ -169,6 +212,13 @@ type Config struct {
 	// ItemNs are the latencies charged for touching an item whose last
 	// toucher was the same / another cluster. Defaults 25/100 ns.
 	ItemLocalNs, ItemRemoteNs int64
+	// ValueMemory selects where value bytes live: the GC heap
+	// (default) or per-shard arenas (ValueArena).
+	ValueMemory ValueMemory
+	// ArenaBytes is the total arena capacity under ValueArena, split
+	// evenly across shards like Capacity (with a small per-shard
+	// floor). Default 64 MiB. Ignored under ValueHeap.
+	ArenaBytes int
 }
 
 func (c *Config) setDefaults() error {
@@ -205,8 +255,19 @@ func (c *Config) setDefaults() error {
 		def := cachesim.DefaultConfig()
 		c.ItemLocalNs, c.ItemRemoteNs = def.LocalNs, def.RemoteNs
 	}
+	if c.ValueMemory == ValueArena && c.ArenaBytes <= 0 {
+		c.ArenaBytes = DefaultArenaBytes
+	}
 	return nil
 }
+
+// DefaultArenaBytes is the default total arena capacity of a
+// ValueArena store, split across shards.
+const DefaultArenaBytes = 64 << 20
+
+// minArenaBytes is the per-shard arena floor; alloc.New rejects
+// anything smaller.
+const minArenaBytes = 1 << 12
 
 // DefaultTouchEvery is the default LRU sampling stride of the shared
 // read path: one in eight hits per proc refreshes the item's recency.
@@ -222,6 +283,10 @@ type Stats struct {
 	Gets, Sets, Hits, Misses, Evictions uint64
 	// MetaMisses counts simulated coherence misses on store metadata.
 	MetaMisses uint64
+	// Spills counts values that fell back to the GC heap because the
+	// shard's arena was exhausted (ValueArena only; always 0 under
+	// ValueHeap).
+	Spills uint64
 }
 
 // Add accumulates o into s; harnesses use it to aggregate shard and
@@ -233,12 +298,14 @@ func (s *Stats) Add(o Stats) {
 	s.Misses += o.Misses
 	s.Evictions += o.Evictions
 	s.MetaMisses += o.MetaMisses
+	s.Spills += o.Spills
 }
 
 // Store is the sharded memcached-like key-value cache.
 type Store struct {
 	topo      *numa.Topology
 	placement Placement
+	valueMem  ValueMemory
 	shards    []*Shard
 	homes     []int   // shard index -> home cluster
 	groups    [][]int // cluster -> indices of shards homed there
@@ -285,10 +352,18 @@ func New(cfg Config) *Store {
 	}
 	perBuckets = n
 	perCapacity := ceilDiv(cfg.Capacity, cfg.Shards)
+	perArena := 0
+	if cfg.ValueMemory == ValueArena {
+		perArena = ceilDiv(cfg.ArenaBytes, cfg.Shards)
+		if perArena < minArenaBytes {
+			perArena = minArenaBytes
+		}
+	}
 
 	s := &Store{
 		topo:      cfg.Topo,
 		placement: cfg.Placement,
+		valueMem:  cfg.ValueMemory,
 		shards:    make([]*Shard, cfg.Shards),
 		homes:     make([]int, cfg.Shards),
 		groups:    make([][]int, cfg.Topo.Clusters()),
@@ -303,6 +378,7 @@ func New(cfg Config) *Store {
 			cache:      cfg.Cache,
 			itemLocal:  cfg.ItemLocalNs,
 			itemRemote: cfg.ItemRemoteNs,
+			arenaBytes: perArena,
 		}
 		if newExec != nil {
 			sc.exec = newExec()
@@ -490,6 +566,71 @@ func (s *Store) NumShards() int { return len(s.shards) }
 
 // Placement reports the routing policy.
 func (s *Store) Placement() Placement { return s.placement }
+
+// ValueMemory reports where value bytes live.
+func (s *Store) ValueMemory() ValueMemory { return s.valueMem }
+
+// ShardOccupancy reports shard i's executor in-flight request estimate
+// and whether the shard tracks one at all — true only for shards
+// guarded by an adaptive combining executor (comb-a-*), whose
+// occupancy counters (locks.EstimateOccupancy) are safe to sample
+// concurrently with a running load. Harnesses poll it mid-run to see
+// which shards are hot.
+func (s *Store) ShardOccupancy(i int) (int, bool) {
+	if x := s.shards[i].exec; x != nil {
+		return locks.EstimateOccupancy(x)
+	}
+	return 0, false
+}
+
+// FlushArenas drains every shard's deferred free list, each flush one
+// critical section of its shard. A no-op under ValueHeap. Harnesses
+// call it before snapshotting arena statistics so pending frees do not
+// read as live blocks.
+func (s *Store) FlushArenas(p *numa.Proc) {
+	for _, sh := range s.shards {
+		sh.flushArena(p)
+	}
+}
+
+// ArenaSnapshot aggregates the allocator statistics of every shard
+// arena; ok is false under ValueHeap. Call while workers are
+// quiescent.
+func (s *Store) ArenaSnapshot() (st alloc.Stats, ok bool) {
+	for _, sh := range s.shards {
+		if sh.arena == nil {
+			continue
+		}
+		ok = true
+		a := sh.arena.Snapshot()
+		st.Mallocs += a.Mallocs
+		st.Frees += a.Frees
+		st.BinAllocs += a.BinAllocs
+		st.TreeAllocs += a.TreeAllocs
+		st.Carves += a.Carves
+		st.Splits += a.Splits
+		st.RemoteTouches += a.RemoteTouches
+		st.FreeTreeBlocks += a.FreeTreeBlocks
+		if a.WildernessOffset > st.WildernessOffset {
+			st.WildernessOffset = a.WildernessOffset
+		}
+	}
+	return st, ok
+}
+
+// ArenaCheck flushes every shard's deferred frees, then verifies each
+// arena's heap invariants (alloc.Fsck) and that its live block count
+// matches the shard's arena-backed item count — i.e. no leaked and no
+// double-freed value blocks. A no-op under ValueHeap. Quiescent
+// callers only (tests, end-of-run checks).
+func (s *Store) ArenaCheck(p *numa.Proc) error {
+	for i, sh := range s.shards {
+		if err := sh.arenaCheck(p); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
 
 // ShardHome reports the home cluster of shard i.
 func (s *Store) ShardHome(i int) int { return s.homes[i] }

@@ -3,6 +3,7 @@ package kvstore
 import (
 	"fmt"
 
+	"repro/internal/alloc"
 	"repro/internal/cachesim"
 	"repro/internal/locks"
 	"repro/internal/numa"
@@ -20,12 +21,21 @@ const (
 
 // item is one cache entry: hash chain link, intrusive LRU links, the
 // last-touching cluster (for the locality charge), and the value.
+//
+// Under ValueArena, value views an explicitly managed block of the
+// shard's arena (len = the stored value, cap = the block's usable
+// size) and off is that block's payload offset; off == 0 means the
+// value lives on the GC heap — the only state ValueHeap items ever
+// have, and the state arena items spill back to when their arena is
+// exhausted. Arena offsets are always >= the 8-byte block header, so
+// 0 is never a valid block and needs no separate flag.
 type item struct {
 	key   uint64
 	hnext *item
 	prev  *item
 	next  *item
 	owner int32
+	off   uint32
 	value []byte
 }
 
@@ -42,7 +52,10 @@ type opSlot struct {
 	// sinceTouch counts this proc's hits since it last refreshed an
 	// item's LRU position (shared read path only; see Shard.Get).
 	sinceTouch uint64
-	_          numa.Pad
+	// spills counts sets this proc spilled to the GC heap because the
+	// shard's arena was exhausted (ValueArena only).
+	spills uint64
+	_      numa.Pad
 }
 
 // shardConfig carries the per-shard slice of a Store's Config, already
@@ -59,6 +72,9 @@ type shardConfig struct {
 	cache      cachesim.Config
 	itemLocal  int64
 	itemRemote int64
+	// arenaBytes > 0 selects ValueArena: the shard owns an unguarded
+	// arena of this capacity for its value bytes.
+	arenaBytes int
 }
 
 // Shard is one independently locked slice of the store: a chained hash
@@ -94,6 +110,20 @@ type Shard struct {
 	domain                *cachesim.Domain
 	slots                 []opSlot
 	itemLocal, itemRemote int64
+	// arena, when non-nil, owns the shard's value bytes: an unguarded
+	// alloc.Allocator whose every operation runs inside the shard's
+	// existing critical sections — the shard lock (or executor) IS the
+	// arena's exclusion domain, so values cost no second lock. Under
+	// ClusterAffine placement the shard, its lock and its arena are all
+	// homed on one cluster: value blocks recycle cluster-locally, the
+	// paper's Table 2 effect applied to the data plane.
+	arena *alloc.Allocator
+	// pendingFree batches explicit frees (overwrite, eviction, delete)
+	// so splay-tree reinsertion is paid once per maxBatch frees instead
+	// of once per mutation — reclamation amortized like LRU touches.
+	// Only touched inside critical sections; capacity is fixed at
+	// maxBatch so the steady state appends without allocating.
+	pendingFree []uint32
 }
 
 func newShard(cfg shardConfig) *Shard {
@@ -101,7 +131,7 @@ func newShard(cfg shardConfig) *Shard {
 	if cfg.exec == nil {
 		sharedReads = locks.SharesReads(cfg.lock)
 	}
-	return &Shard{
+	s := &Shard{
 		lock:        cfg.lock,
 		exec:        cfg.exec,
 		maxBatch:    cfg.maxBatch,
@@ -115,6 +145,22 @@ func newShard(cfg shardConfig) *Shard {
 		itemLocal:   cfg.itemLocal,
 		itemRemote:  cfg.itemRemote,
 	}
+	if cfg.arenaBytes > 0 {
+		a, err := alloc.New(alloc.Config{
+			Topo:       cfg.topo,
+			Unguarded:  true,
+			ArenaBytes: cfg.arenaBytes,
+			LocalNs:    cfg.itemLocal,
+			RemoteNs:   cfg.itemRemote,
+			Cache:      cfg.cache,
+		})
+		if err != nil {
+			panic(err) // sizes validated by Config.setDefaults
+		}
+		s.arena = a
+		s.pendingFree = make([]uint32, 0, cfg.maxBatch)
+	}
+	return s
 }
 
 // hash is Fibonacci hashing; keys are already integers in this model.
@@ -257,21 +303,32 @@ func (s *Shard) Get(p *numa.Proc, key uint64, dst []byte) (int, bool) {
 // combiner — instead of bracketing the lock directly.
 func (s *Shard) getExclusive(p *numa.Proc, key uint64, dst []byte) (int, bool) {
 	slot := &s.slots[p.ID()]
-	var n int
-	var hit bool
-	if s.exec != nil {
-		s.exec.Exec(p, func() { n, hit = s.applyGet(p, key, dst) })
-	} else {
-		s.lock.Lock(p)
-		n, hit = s.applyGet(p, key, dst)
-		s.lock.Unlock(p)
-	}
+	n, hit := s.getExclusiveCS(p, key, dst)
 	slot.gets++
 	if hit {
 		slot.hits++
 	} else {
 		slot.misses++
 	}
+	return n, hit
+}
+
+// getExclusiveCS runs one get's critical section under the shard's
+// exclusion seam. The closure-posting exec branch declares its result
+// variables inside the branch: hoisted to the top of the function they
+// would be captured by an escaping closure and heap-allocated on every
+// call, putting two Go allocations on the plain-lock read path that
+// the allocs/op columns would misattribute to value memory.
+func (s *Shard) getExclusiveCS(p *numa.Proc, key uint64, dst []byte) (int, bool) {
+	if s.exec != nil {
+		var n int
+		var hit bool
+		s.exec.Exec(p, func() { n, hit = s.applyGet(p, key, dst) })
+		return n, hit
+	}
+	s.lock.Lock(p)
+	n, hit := s.applyGet(p, key, dst)
+	s.lock.Unlock(p)
 	return n, hit
 }
 
@@ -335,11 +392,7 @@ func (s *Shard) applySet(p *numa.Proc, key uint64, val []byte) {
 		s.touchItem(p, it)
 	}
 	it.owner = int32(p.Cluster())
-	if cap(it.value) < len(val) {
-		it.value = make([]byte, len(val))
-	}
-	it.value = it.value[:len(val)]
-	copy(it.value, val)
+	s.setValue(p, it, val)
 	s.lruFront(it)
 	s.domain.Access(p, lineLRU, 2)
 	if s.count > s.capacity {
@@ -347,7 +400,7 @@ func (s *Shard) applySet(p *numa.Proc, key uint64, val []byte) {
 		if victim != nil && victim != it {
 			s.unlink(victim)
 			s.count--
-			victim.value = victim.value[:0]
+			s.clearValue(p, victim)
 			victim.hnext = s.free
 			s.free = victim
 			s.domain.Access(p, lineHash, 1)
@@ -364,14 +417,16 @@ func (s *Shard) applySet(p *numa.Proc, key uint64, val []byte) {
 
 // Delete removes key, returning whether it was present.
 func (s *Shard) Delete(p *numa.Proc, key uint64) bool {
-	var ok bool
+	// Like getExclusiveCS, the exec branch keeps its captured result
+	// local so the plain-lock path stays allocation-free.
 	if s.exec != nil {
+		var ok bool
 		s.exec.Exec(p, func() { ok = s.applyDelete(p, key) })
-	} else {
-		s.lock.Lock(p)
-		ok = s.applyDelete(p, key)
-		s.lock.Unlock(p)
+		return ok
 	}
+	s.lock.Lock(p)
+	ok := s.applyDelete(p, key)
+	s.lock.Unlock(p)
 	return ok
 }
 
@@ -385,11 +440,162 @@ func (s *Shard) applyDelete(p *numa.Proc, key uint64) bool {
 	s.domain.Access(p, lineHash, 1)
 	s.unlink(it)
 	s.count--
-	it.value = it.value[:0]
+	s.clearValue(p, it)
 	it.hnext = s.free
 	s.free = it
 	s.domain.Access(p, lineAlloc, 2)
 	return true
+}
+
+// setValue stores a copy of val as it's value. Callers hold the
+// shard's exclusion.
+//
+// Heap mode is the pre-arena logic byte for byte: grow the GC-managed
+// buffer when too small, reslice and copy. Arena mode reuses the
+// item's current block in place when it fits; otherwise the old block
+// is released (deferred — see deferFree) and a new one is carved from
+// the shard's arena. An exhausted arena first flushes the deferred
+// frees and retries — blocks awaiting reclamation are capacity, not
+// garbage — and only then spills the value to the GC heap, counting
+// the spill. Spilled items retry the arena on their next overwrite, so
+// a post-churn arena with room reabsorbs them.
+func (s *Shard) setValue(p *numa.Proc, it *item, val []byte) {
+	if s.arena == nil {
+		if cap(it.value) < len(val) {
+			it.value = make([]byte, len(val))
+		}
+		it.value = it.value[:len(val)]
+		copy(it.value, val)
+		return
+	}
+	if it.off != 0 && cap(it.value) >= len(val) {
+		// In-place overwrite: the block's usable size (the view's cap)
+		// already fits the new value.
+		it.value = it.value[:len(val)]
+		copy(it.value, val)
+		return
+	}
+	if it.off != 0 {
+		s.deferFree(p, it.off)
+		it.off, it.value = 0, nil
+	}
+	if len(val) == 0 {
+		// Zero-length values carry no bytes; an arena block would be
+		// all header. Represent them exactly as heap mode does.
+		if it.value == nil {
+			it.value = []byte{}
+		}
+		it.value = it.value[:0]
+		return
+	}
+	s.domain.Access(p, lineAlloc, 2)
+	if off, ok := s.arenaMalloc(p, len(val)); ok {
+		it.off = off
+		it.value = s.arena.Bytes(off, int(s.arena.UsableSize(off)))[:len(val)]
+		copy(it.value, val)
+		return
+	}
+	// Graceful spill: the arena is exhausted even after reclaiming the
+	// deferred frees, so this value lives on the GC heap until an
+	// overwrite finds arena room again.
+	s.slots[p.ID()].spills++
+	if cap(it.value) < len(val) {
+		it.value = make([]byte, len(val))
+	}
+	it.value = it.value[:len(val)]
+	copy(it.value, val)
+}
+
+// clearValue drops it's value on eviction or delete. Callers hold the
+// shard's exclusion. Heap mode keeps the buffer for the recycled item
+// to reuse (the pre-arena behavior); arena mode releases the block to
+// the shard's arena, where the splay tree hands it — still cache-warm
+// — to the next fitting allocation.
+func (s *Shard) clearValue(p *numa.Proc, it *item) {
+	if s.arena != nil && it.off != 0 {
+		s.deferFree(p, it.off)
+		it.off, it.value = 0, nil
+		return
+	}
+	it.value = it.value[:0]
+}
+
+// arenaMalloc carves a value block from the shard's arena, flushing
+// the deferred free list and retrying once when the arena looks
+// exhausted. Callers hold the shard's exclusion.
+func (s *Shard) arenaMalloc(p *numa.Proc, n int) (uint32, bool) {
+	off, err := s.arena.MallocUnguarded(p, n)
+	if err == nil {
+		return off, true
+	}
+	if len(s.pendingFree) == 0 {
+		return 0, false
+	}
+	s.flushFrees(p)
+	off, err = s.arena.MallocUnguarded(p, n)
+	return off, err == nil
+}
+
+// deferFree queues an arena block for reclamation and flushes the
+// queue once it reaches maxBatch — one amortized batch of splay-tree
+// reinsertion per maxBatch mutations, inside a critical section the
+// caller already holds, exactly as the batch APIs amortize lock
+// acquisitions.
+func (s *Shard) deferFree(p *numa.Proc, off uint32) {
+	s.pendingFree = append(s.pendingFree, off)
+	if len(s.pendingFree) >= s.maxBatch {
+		s.flushFrees(p)
+	}
+}
+
+// flushFrees returns every deferred block to the arena. Callers hold
+// the shard's exclusion. A free failing here means the store handed
+// the arena a corrupt or double-freed offset — an invariant violation,
+// not an operational error.
+func (s *Shard) flushFrees(p *numa.Proc) {
+	for _, off := range s.pendingFree {
+		if err := s.arena.FreeUnguarded(p, off); err != nil {
+			panic(fmt.Sprintf("kvstore: arena free of deferred block: %v", err))
+		}
+	}
+	s.pendingFree = s.pendingFree[:0]
+}
+
+// flushArena drains the deferred free list as one critical section of
+// its own — the combined-closure flush the batch pipeline uses between
+// groups. A no-op for heap shards or an empty queue.
+func (s *Shard) flushArena(p *numa.Proc) {
+	if s.arena == nil {
+		return
+	}
+	s.runBatch(p, func() {
+		if len(s.pendingFree) > 0 {
+			s.flushFrees(p)
+		}
+	})
+}
+
+// arenaCheck flushes deferred frees, then verifies the arena's heap
+// invariants and that live blocks match arena-backed items one for
+// one (no leaks, no double frees). Quiescent callers only.
+func (s *Shard) arenaCheck(p *numa.Proc) error {
+	if s.arena == nil {
+		return nil
+	}
+	s.flushArena(p)
+	if err := s.arena.Fsck(); err != nil {
+		return err
+	}
+	backed := 0
+	for it := s.head; it != nil; it = it.next {
+		if it.off != 0 {
+			backed++
+		}
+	}
+	if live := s.arena.LiveBlocks(); live != backed {
+		return fmt.Errorf("kvstore: arena holds %d live blocks, %d items are arena-backed", live, backed)
+	}
+	return nil
 }
 
 // runBatch runs fn as one exclusive critical section: one posted
@@ -555,6 +761,7 @@ func (s *Shard) Snapshot() Stats {
 		st.Hits += sl.hits
 		st.Misses += sl.misses
 		st.Evictions += sl.evictions
+		st.Spills += sl.spills
 	}
 	st.MetaMisses = s.domain.Snapshot().Misses
 	return st

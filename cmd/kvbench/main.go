@@ -198,6 +198,7 @@ func main() {
 		os.Exit(compareEnvelopes(flag.Arg(0), flag.Arg(1), *regressFlag))
 	}
 
+	const tool = "kvbench"
 	opt := options{
 		clusters:  *clustersFlag,
 		duration:  *durationFlag,
@@ -210,12 +211,15 @@ func main() {
 		shardStat: *shardsatFlag,
 		csv:       *csvFlag,
 		jsonOut:   *jsonFlag,
-		locks:     cli.ParseNameList(*locksFlag),
 	}
-	vm, err := kvstore.ParseValueMemory(*valuememFlag)
+	lockNames, err := cli.Locks(*locksFlag)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "kvbench: %v\n", err)
-		os.Exit(2)
+		cli.Die(tool, err)
+	}
+	opt.locks = lockNames
+	vm, err := cli.ValueMemory(*valuememFlag)
+	if err != nil {
+		cli.Die(tool, err)
 	}
 	opt.valueMem = vm
 	switch *mixFlag {
@@ -224,54 +228,43 @@ func main() {
 	case "90", "50", "10":
 		opt.mixes = []int{atoi(*mixFlag)}
 	default:
-		fmt.Fprintf(os.Stderr, "kvbench: -mix must be 90, 50, 10 or all\n")
-		os.Exit(2)
+		cli.Dief(tool, "-mix must be 90, 50, 10 or all")
 	}
 	threads, err := cli.ParseIntList(*threadsFlag)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "kvbench: bad -threads: %v\n", err)
-		os.Exit(2)
+		cli.Dief(tool, "bad -threads: %v", err)
 	}
 	opt.threads = threads
 	shards, err := cli.ParseIntList(*shardsFlag)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "kvbench: bad -shards: %v\n", err)
-		os.Exit(2)
+		cli.Dief(tool, "bad -shards: %v", err)
 	}
 	opt.shards = shards
-	opt.placement, err = kvstore.ParsePlacement(*placementFlag)
+	opt.placement, err = cli.Placement(*placementFlag)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "kvbench: %v\n", err)
-		os.Exit(2)
+		cli.Die(tool, err)
 	}
-	if !(opt.affinity >= 0 && opt.affinity <= 1) { // inverted to reject NaN
-		fmt.Fprintf(os.Stderr, "kvbench: -affinity %v outside [0,1]\n", opt.affinity)
-		os.Exit(2)
+	if err := cli.Fraction("affinity", opt.affinity); err != nil {
+		cli.Die(tool, err)
 	}
-	if !(opt.reads >= 0 && opt.reads <= 1) { // inverted to reject NaN
-		fmt.Fprintf(os.Stderr, "kvbench: -reads %v outside [0,1]\n", opt.reads)
-		os.Exit(2)
+	if err := cli.Fraction("reads", opt.reads); err != nil {
+		cli.Die(tool, err)
 	}
 	if opt.batch < 0 {
-		fmt.Fprintf(os.Stderr, "kvbench: negative -batch %d\n", opt.batch)
-		os.Exit(2)
+		cli.Dief(tool, "negative -batch %d", opt.batch)
 	}
 	if opt.batch > 0 && opt.reads > 0 && !opt.adaptive {
-		fmt.Fprintf(os.Stderr, "kvbench: -batch and -reads select different tables; pick one (or -adaptive, which uses both)\n")
-		os.Exit(2)
+		cli.Dief(tool, "-batch and -reads select different tables; pick one (or -adaptive, which uses both)")
 	}
 	if (opt.batch > 0 || opt.adaptive) && opt.affinity > 0 {
-		fmt.Fprintf(os.Stderr, "kvbench: -affinity is a per-operation knob; unsupported with batched pipelines\n")
-		os.Exit(2)
+		cli.Dief(tool, "-affinity is a per-operation knob; unsupported with batched pipelines")
 	}
 	if opt.churn {
 		if opt.batch > 0 || opt.reads > 0 || opt.adaptive {
-			fmt.Fprintf(os.Stderr, "kvbench: -churn selects its own table; it combines with none of -batch, -reads, -adaptive\n")
-			os.Exit(2)
+			cli.Dief(tool, "-churn selects its own table; it combines with none of -batch, -reads, -adaptive")
 		}
 		if opt.valueMem != kvstore.ValueHeap {
-			fmt.Fprintf(os.Stderr, "kvbench: -churn measures both value-memory modes itself; -valuemem applies to the other tables\n")
-			os.Exit(2)
+			cli.Dief(tool, "-churn measures both value-memory modes itself; -valuemem applies to the other tables")
 		}
 		// The churn tables run at a single mix, defaulting to the
 		// write-heavy workload where value turnover actually happens.
@@ -289,8 +282,7 @@ func main() {
 			opt.batch = 16
 		}
 		if opt.batch < 2 {
-			fmt.Fprintf(os.Stderr, "kvbench: -adaptive needs -batch > 1 (the adaptive client sizes batches within [1,batch])\n")
-			os.Exit(2)
+			cli.Dief(tool, "-adaptive needs -batch > 1 (the adaptive client sizes batches within [1,batch])")
 		}
 		if opt.reads == 0 {
 			opt.reads = 0.9

@@ -1,0 +1,139 @@
+// Command kvserver serves the store over a pipelined memcached text
+// protocol (get/gets multi-key, set, delete, version, quit) — the
+// paper's workload shape driven over a real socket instead of an
+// in-process load generator.
+//
+// The engine underneath is the full stack the previous exhibits
+// measured: a sharded store guarded by any registry lock (-lock takes
+// the same names as kvbench, combining comb-* executors included),
+// cluster-affine shard placement, arena or heap value memory, and the
+// batched MGet/MSet/MDelete APIs. One accept loop runs per simulated
+// NUMA cluster; every admitted connection owns one of that cluster's
+// proc handles for its lifetime, so a connection's pipelined requests
+// flush into the store as batches costing ceil(N/MaxBatch) shard
+// acquisitions. -conns-per-cluster caps admission per cluster (the
+// concurrency-restriction idea applied at the front door: excess
+// clients wait in the listen backlog, not in the lock queue).
+//
+// SIGINT/SIGTERM drains gracefully: stop accepting, let every
+// connection answer the requests it has already read, flush in-flight
+// batches, then close. -drain-timeout bounds the wait; connections
+// still open after it are force-closed and the exit status is nonzero.
+// No acknowledged write is lost at any drain point — responses are
+// only written after the store call returns.
+//
+// Drive it with cmd/kvsoak (or any memcached text client).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/kvstore"
+	"repro/internal/numa"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addrFlag     = flag.String("addr", "127.0.0.1:11211", "TCP listen address")
+		lockFlag     = flag.String("lock", "c-bo-mcs", "shard lock from the registry (same names as kvbench -locks)")
+		shardsFlag   = flag.Int("shards", 8, "store shards")
+		placeFlag    = flag.String("placement", "affine", "shard placement: hashmod or affine")
+		clustersFlag = flag.Int("clusters", 4, "NUMA clusters to simulate")
+		procsFlag    = flag.Int("procs", runtime.GOMAXPROCS(0), "proc handles in the topology (bounds total admitted connections)")
+		connsFlag    = flag.Int("conns-per-cluster", 0, "admitted connections per cluster (default: the cluster's proc count)")
+		capFlag      = flag.Int("capacity", 1<<20, "store item capacity (LRU evicts beyond it)")
+		maxvalFlag   = flag.Int("maxval", server.DefaultMaxValueBytes, "largest accepted value in bytes")
+		maxbatchFlag = flag.Int("maxbatch", 0, "ops per critical section for pipelined flushes (default: the store's MaxBatch)")
+		valuememFlag = flag.String("valuemem", "heap", "value backend: heap or arena")
+		readTOFlag   = flag.Duration("read-timeout", 0, "per-request read deadline (default 2m)")
+		writeTOFlag  = flag.Duration("write-timeout", 0, "per-flush write deadline (default 30s)")
+		drainFlag    = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound before force-closing connections")
+	)
+	flag.Parse()
+	const tool = "kvserver"
+
+	if err := cli.Positive("shards", *shardsFlag); err != nil {
+		cli.Die(tool, err)
+	}
+	if err := cli.Positive("clusters", *clustersFlag); err != nil {
+		cli.Die(tool, err)
+	}
+	if *procsFlag < *clustersFlag {
+		cli.Dief(tool, "-procs %d below -clusters %d: every cluster needs a proc to serve connections", *procsFlag, *clustersFlag)
+	}
+	placement, err := cli.Placement(*placeFlag)
+	if err != nil {
+		cli.Die(tool, err)
+	}
+	valueMem, err := cli.ValueMemory(*valuememFlag)
+	if err != nil {
+		cli.Die(tool, err)
+	}
+
+	topo := numa.New(*clustersFlag, *procsFlag)
+	locking, err := kvstore.FromRegistry(topo, *lockFlag)
+	if err != nil {
+		cli.Die(tool, err)
+	}
+	store := kvstore.New(kvstore.Config{
+		Topo:        topo,
+		Locking:     locking,
+		Shards:      *shardsFlag,
+		Placement:   placement,
+		Capacity:    *capFlag,
+		MaxBatch:    *maxbatchFlag,
+		ValueMemory: valueMem,
+	})
+	srv, err := server.New(server.Config{
+		Topo:            topo,
+		Store:           store,
+		ConnsPerCluster: *connsFlag,
+		MaxBatch:        *maxbatchFlag,
+		MaxValueBytes:   *maxvalFlag,
+		ReadTimeout:     *readTOFlag,
+		WriteTimeout:    *writeTOFlag,
+	})
+	if err != nil {
+		cli.Die(tool, err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "kvserver: %v — draining (timeout %v)\n", s, *drainFlag)
+		shutdownErr <- srv.Shutdown(*drainFlag)
+	}()
+
+	connsPerCluster := *connsFlag
+	if connsPerCluster <= 0 || connsPerCluster > *procsFlag / *clustersFlag {
+		connsPerCluster = *procsFlag / *clustersFlag
+	}
+	fmt.Fprintf(os.Stderr, "kvserver: %s on %s — lock=%s shards=%d placement=%s clusters=%d conns/cluster<=%d valuemem=%s\n",
+		server.DefaultVersion, *addrFlag, *lockFlag, *shardsFlag, placement, *clustersFlag, connsPerCluster, valueMem)
+	serveErr := srv.ListenAndServe(*addrFlag)
+
+	st := srv.Snapshot()
+	fmt.Fprintf(os.Stderr, "kvserver: served %d connections, %d gets (%d hits), %d sets, %d deletes, %d flushes, %d bad requests\n",
+		st.Accepted, st.Gets, st.Hits, st.Sets, st.Deletes, st.Flushes, st.BadRequests)
+
+	if serveErr != nil {
+		fmt.Fprintf(os.Stderr, "kvserver: %v\n", serveErr)
+		os.Exit(1)
+	}
+	// Serve returned nil: a drain finished. Its verdict (clean vs
+	// force-closed stragglers) is the exit status.
+	if err := <-shutdownErr; err != nil {
+		fmt.Fprintf(os.Stderr, "kvserver: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,386 @@
+// Command kvsoak drives a kvserver (or any memcached text server)
+// over a real TCP socket: a sustained mixed get/set load at a target
+// rate and concurrency, reporting achieved ops/sec and error counts.
+//
+// Every connection owns a disjoint key slice and pipelines -pipeline
+// operations per socket write, so the soak exercises exactly the
+// server's batched decode path. Because ops within a connection are
+// ordered, each worker verifies get responses against the last value
+// it wrote to that key: a wrong payload counts as an error (and fails
+// the run), a miss is legal (the server's LRU may evict under
+// pressure). Connections cut mid-burst — a draining server's goodbye —
+// count their unanswered operations as dropped, not as errors.
+//
+// -check replaces the soak with a scripted byte-exact session (set,
+// get, gets, multi-key pipelined get, delete, version) asserting every
+// response byte; CI uses it as the protocol conformance gate. -check
+// retries the first dial briefly so it can race a just-started server.
+//
+// Exit status: 0 on a clean run, 1 on any verification error, 2 on
+// operational failure (bad flags, cannot connect).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/server"
+)
+
+type options struct {
+	addr     string
+	conns    int
+	rps      int
+	duration time.Duration
+	mix      int
+	keys     int
+	valSize  int
+	pipeline int
+	jsonOut  bool
+}
+
+func main() {
+	var (
+		addrFlag     = flag.String("addr", "127.0.0.1:11211", "server address")
+		connsFlag    = flag.Int("conns", 4, "concurrent connections")
+		rpsFlag      = flag.Int("rps", 0, "target operations per second across all connections (0 = unthrottled)")
+		durationFlag = flag.Duration("duration", 2*time.Second, "soak duration")
+		mixFlag      = flag.Int("mix", 90, "get percentage of the operation mix")
+		keysFlag     = flag.Int("keys", 1000, "distinct keys per connection")
+		valsizeFlag  = flag.Int("valsize", 64, "value size in bytes")
+		pipeFlag     = flag.Int("pipeline", 8, "operations pipelined per socket write")
+		checkFlag    = flag.Bool("check", false, "run the scripted byte-exact protocol session instead of the soak")
+		jsonFlag     = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+	const tool = "kvsoak"
+
+	if *checkFlag {
+		if err := runCheck(*addrFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "kvsoak: check failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("kvsoak: protocol check passed")
+		return
+	}
+
+	opt := options{
+		addr:     *addrFlag,
+		conns:    *connsFlag,
+		rps:      *rpsFlag,
+		duration: *durationFlag,
+		mix:      *mixFlag,
+		keys:     *keysFlag,
+		valSize:  *valsizeFlag,
+		pipeline: *pipeFlag,
+		jsonOut:  *jsonFlag,
+	}
+	for name, v := range map[string]int{
+		"conns": opt.conns, "keys": opt.keys, "valsize": opt.valSize, "pipeline": opt.pipeline,
+	} {
+		if err := cli.Positive(name, v); err != nil {
+			cli.Die(tool, err)
+		}
+	}
+	if opt.mix < 0 || opt.mix > 100 {
+		cli.Dief(tool, "-mix %d outside [0,100]", opt.mix)
+	}
+	if opt.rps < 0 {
+		cli.Dief(tool, "negative -rps %d", opt.rps)
+	}
+	res, err := runSoak(opt)
+	if err != nil {
+		cli.Die(tool, err)
+	}
+	if opt.jsonOut {
+		json.NewEncoder(os.Stdout).Encode(res)
+	} else {
+		fmt.Printf("kvsoak: %d conns %.1fs: %d ops (%d gets, %d hits, %d sets) %.0f ops/s, %d errors, %d dropped\n",
+			opt.conns, res.Seconds, res.Ops, res.Gets, res.Hits, res.Sets, res.OpsPerSec, res.Errors, res.Dropped)
+	}
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// result is the soak's summary, also the -json shape.
+type result struct {
+	Ops       uint64  `json:"ops"`
+	Gets      uint64  `json:"gets"`
+	Hits      uint64  `json:"hits"`
+	Sets      uint64  `json:"sets"`
+	Errors    uint64  `json:"errors"`
+	Dropped   uint64  `json:"dropped"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// dial connects with brief retries, so soak and check runs can race a
+// server that is still binding its listener.
+func dial(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("connecting to %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func runSoak(opt options) (result, error) {
+	conns := make([]net.Conn, opt.conns)
+	for i := range conns {
+		c, err := dial(opt.addr)
+		if err != nil {
+			return result{}, err
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	var ops, gets, hits, sets, errs, dropped atomic.Uint64
+	began := time.Now()
+	stop := began.Add(opt.duration)
+	var wg sync.WaitGroup
+	for w, c := range conns {
+		wg.Add(1)
+		go func(w int, c net.Conn) {
+			defer wg.Done()
+			r := soakWorker(opt, w, c, stop)
+			ops.Add(r.Ops)
+			gets.Add(r.Gets)
+			hits.Add(r.Hits)
+			sets.Add(r.Sets)
+			errs.Add(r.Errors)
+			dropped.Add(r.Dropped)
+		}(w, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(began).Seconds()
+
+	res := result{
+		Ops: ops.Load(), Gets: gets.Load(), Hits: hits.Load(), Sets: sets.Load(),
+		Errors: errs.Load(), Dropped: dropped.Load(), Seconds: elapsed,
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Ops) / elapsed
+	}
+	return res, nil
+}
+
+// value renders the deterministic payload for (worker, key, seq):
+// verification just re-renders and compares.
+func value(buf []byte, w, key int, seq uint64, size int) []byte {
+	buf = buf[:0]
+	buf = append(buf, fmt.Sprintf("w%d-k%d-s%d-", w, key, seq)...)
+	for len(buf) < size {
+		buf = append(buf, 'x')
+	}
+	return buf[:size]
+}
+
+// soakWorker runs one connection's load until the stop time: bursts of
+// pipelined operations, then their responses in order. The op sequence
+// is a cheap deterministic LCG, so runs are reproducible.
+func soakWorker(opt options, w int, c net.Conn, stop time.Time) result {
+	var res result
+	rd := bufio.NewReaderSize(c, 64<<10)
+	seqs := make([]uint64, opt.keys) // last value written per key, 0 = never
+	rng := uint64(w)*2654435761 + 1
+	next := func() uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng >> 33 }
+
+	type op struct {
+		key int
+		get bool
+		seq uint64
+	}
+	burst := make([]op, 0, opt.pipeline)
+	var buf []byte
+	valBuf := make([]byte, 0, opt.valSize)
+	wantBuf := make([]byte, 0, opt.valSize)
+	var seq uint64
+
+	// Pacing: each burst is opt.pipeline ops; at a target per-worker
+	// rate the next burst is due one interval after the previous one.
+	var interval time.Duration
+	if opt.rps > 0 {
+		perWorker := float64(opt.rps) / float64(opt.conns)
+		interval = time.Duration(float64(opt.pipeline) / perWorker * float64(time.Second))
+	}
+	due := time.Now()
+
+	for time.Now().Before(stop) {
+		if interval > 0 {
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+			due = due.Add(interval)
+		}
+		// Build and send one pipelined burst.
+		burst = burst[:0]
+		buf = buf[:0]
+		for i := 0; i < opt.pipeline; i++ {
+			key := int(next()) % opt.keys
+			if int(next())%100 < opt.mix && seqs[key] > 0 {
+				burst = append(burst, op{key: key, get: true})
+				buf = append(buf, fmt.Sprintf("get w%dk%d\r\n", w, key)...)
+			} else {
+				seq++
+				burst = append(burst, op{key: key, seq: seq})
+				valBuf = value(valBuf, w, key, seq, opt.valSize)
+				buf = append(buf, fmt.Sprintf("set w%dk%d 0 0 %d\r\n", w, key, opt.valSize)...)
+				buf = append(buf, valBuf...)
+				buf = append(buf, "\r\n"...)
+			}
+		}
+		c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		if _, err := c.Write(buf); err != nil {
+			res.Dropped += uint64(len(burst))
+			return res
+		}
+		// Collect the burst's responses in order. A set is acknowledged
+		// before its seq becomes the key's expected value; an op whose
+		// response never arrives is dropped, not wrong.
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		for i, o := range burst {
+			ok, err := readResponse(rd, opt, w, o.key, seqs, wantBuf, &res)
+			if err != nil {
+				res.Dropped += uint64(len(burst) - i)
+				return res
+			}
+			res.Ops++
+			if o.get {
+				res.Gets++
+				if ok {
+					res.Hits++
+				}
+			} else {
+				res.Sets++
+				seqs[o.key] = o.seq
+			}
+		}
+	}
+	return res
+}
+
+// readResponse consumes one operation's response. For gets, ok reports
+// a hit; a hit's payload must be the value of some set this worker
+// already issued for the key (the connection orders them), else it
+// counts an error.
+func readResponse(rd *bufio.Reader, opt options, w, key int, seqs []uint64, wantBuf []byte, res *result) (ok bool, err error) {
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		return false, err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	switch {
+	case line == "STORED":
+		return true, nil
+	case line == "END": // miss: legal under eviction
+		return false, nil
+	case strings.HasPrefix(line, "VALUE "):
+		var k string
+		var flags, size uint64
+		if _, err := fmt.Sscanf(line, "VALUE %s %d %d", &k, &flags, &size); err != nil || size > uint64(opt.valSize) {
+			res.Errors++
+			return false, fmt.Errorf("bad VALUE line %q", line)
+		}
+		data := make([]byte, size+2)
+		if _, err := io.ReadFull(rd, data); err != nil {
+			return false, err
+		}
+		end, err := rd.ReadString('\n')
+		if err != nil {
+			return false, err
+		}
+		if strings.TrimRight(end, "\r\n") != "END" {
+			res.Errors++
+			return false, fmt.Errorf("missing END after VALUE, got %q", end)
+		}
+		want := value(wantBuf, w, key, seqs[key], opt.valSize)
+		if string(data[:size]) != string(want) {
+			res.Errors++
+			return true, nil
+		}
+		return true, nil
+	default:
+		res.Errors++
+		return false, fmt.Errorf("unexpected response %q", line)
+	}
+}
+
+// runCheck is the scripted byte-exact protocol session: each exchange
+// must come back byte for byte, including the multi-key pipelined get
+// and the per-request END framing. It is the conformance gate CI runs
+// against a freshly started server.
+func runCheck(addr string) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	exchange := func(send, want string) error {
+		c.SetDeadline(time.Now().Add(5 * time.Second))
+		if _, err := c.Write([]byte(send)); err != nil {
+			return fmt.Errorf("write %q: %w", send, err)
+		}
+		got := make([]byte, len(want))
+		if _, err := io.ReadFull(c, got); err != nil {
+			return fmt.Errorf("response to %q: %w (got %q)", send, err, got)
+		}
+		if string(got) != want {
+			return fmt.Errorf("response to %q:\n got  %q\n want %q", send, got, want)
+		}
+		return nil
+	}
+
+	cas := server.PseudoCAS([]byte("hello"))
+	steps := []struct{ send, want string }{
+		{"version\r\n", "VERSION " + server.DefaultVersion + "\r\n"},
+		{"set chk:a 7 0 5\r\nhello\r\n", "STORED\r\n"},
+		{"get chk:a\r\n", "VALUE chk:a 7 5\r\nhello\r\nEND\r\n"},
+		{"gets chk:a\r\n", fmt.Sprintf("VALUE chk:a 7 5 %d\r\nhello\r\nEND\r\n", cas)},
+		{"set chk:b 0 0 2\r\nbb\r\n", "STORED\r\n"},
+		// Multi-key pipelined burst in one write: responses in request
+		// order, per-request END framing.
+		{"get chk:a chk:b chk:miss\r\nget chk:b\r\ndelete chk:b\r\nget chk:b\r\n",
+			"VALUE chk:a 7 5\r\nhello\r\nVALUE chk:b 0 2\r\nbb\r\nEND\r\n" +
+				"VALUE chk:b 0 2\r\nbb\r\nEND\r\n" +
+				"DELETED\r\n" +
+				"END\r\n"},
+		{"delete chk:b\r\n", "NOT_FOUND\r\n"},
+		{"set chk:a 0 0 3 noreply\r\nnew\r\nget chk:a\r\n", "VALUE chk:a 0 3\r\nnew\r\nEND\r\n"},
+		{"bogus\r\n", "ERROR\r\n"},
+		{"get chk:a\r\n", "VALUE chk:a 0 3\r\nnew\r\nEND\r\n"},
+		{"delete chk:a\r\n", "DELETED\r\n"},
+	}
+	for _, s := range steps {
+		if err := exchange(s.send, s.want); err != nil {
+			return err
+		}
+	}
+	// quit must answer EOF, not an error line.
+	if _, err := c.Write([]byte("quit\r\n")); err != nil {
+		return err
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if n, err := c.Read(make([]byte, 1)); err != io.EOF {
+		return fmt.Errorf("after quit: %d bytes, err %v; want EOF", n, err)
+	}
+	return nil
+}

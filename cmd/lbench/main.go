@@ -74,16 +74,20 @@ func main() {
 	)
 	flag.Parse()
 
+	const tool = "lbench"
 	threads, err := cli.ParseIntList(*threadsFlag)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lbench: bad -threads: %v\n", err)
-		os.Exit(2)
+		cli.Dief(tool, "bad -threads: %v", err)
+	}
+	lockNames, err := cli.Locks(*locksFlag)
+	if err != nil {
+		cli.Die(tool, err)
 	}
 	opt := options{
 		fig:      *figFlag,
 		ablation: *ablationFlag,
 		threads:  threads,
-		locks:    cli.ParseNameList(*locksFlag),
+		locks:    lockNames,
 		clusters: *clustersFlag,
 		duration: *durationFlag,
 		patience: *patienceFlag,

@@ -35,6 +35,47 @@ func TestParseNameList(t *testing.T) {
 	}
 }
 
+func TestLocks(t *testing.T) {
+	got, err := Locks("mcs, c-bo-mcs")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if got, err := Locks(""); err != nil || got != nil {
+		t.Fatalf("empty spec: got %v, %v", got, err)
+	}
+	// Unknown names fail with the registry's suggestion — the shared
+	// "did you mean" path every tool now reports from.
+	_, err = Locks("mcs,msc")
+	if err == nil || !strings.Contains(err.Error(), "did you mean") {
+		t.Fatalf("want did-you-mean error, got %v", err)
+	}
+}
+
+func TestFraction(t *testing.T) {
+	if err := Fraction("affinity", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-0.1, 1.1, nan()} {
+		if err := Fraction("affinity", bad); err == nil {
+			t.Errorf("Fraction(%v) accepted", bad)
+		}
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}
+
+func TestPositive(t *testing.T) {
+	if err := Positive("conns", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Positive("conns", 0); err == nil {
+		t.Error("Positive(0) accepted")
+	}
+}
+
 func TestEmit(t *testing.T) {
 	tb := stats.NewTable("x", "a")
 	tb.AddRow("1")

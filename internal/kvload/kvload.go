@@ -245,13 +245,16 @@ const adaptEpoch = 8
 // alone would bounce the batch size around the walk's every step.
 const adaptTolerance = 1.05
 
-// batchSizer is the per-worker adaptive batch policy: a hill climb
-// over batch size driven by observed per-op service time. Grow while
-// per-op time holds or falls (batching is paying: each doubling
-// halves the per-op share of lock acquisitions), reverse when it
-// degrades past tolerance (the batch outgrew MaxBatch's amortization,
-// or contention built up behind the store calls).
-type batchSizer struct {
+// BatchSizer is the adaptive batch policy shared by the load
+// generator's batched workers and the server's per-connection flush
+// loop: a hill climb over batch size driven by observed per-op
+// service time. Grow while per-op time holds or falls (batching is
+// paying: each doubling halves the per-op share of lock
+// acquisitions), reverse when it degrades past tolerance (the batch
+// outgrew MaxBatch's amortization, or contention built up behind the
+// store calls). Not safe for concurrent use; each worker or
+// connection owns its own sizer.
+type BatchSizer struct {
 	cur, ceil int
 	dir       int // +1 growing, -1 shrinking
 	rounds    int
@@ -260,13 +263,33 @@ type batchSizer struct {
 	prevPerOp float64
 }
 
-func newBatchSizer(ceil int) *batchSizer {
-	return &batchSizer{cur: 1, ceil: ceil, dir: 1}
+// NewBatchSizer builds a sizer walking within [1, ceil], starting at
+// 1 — the load generator's shape, where ramping up from single
+// operations probes whether batching pays at all.
+func NewBatchSizer(ceil int) *BatchSizer {
+	return &BatchSizer{cur: 1, ceil: ceil, dir: 1}
 }
 
-// observe records one round's issued ops and service time, and steps
+// NewBatchSizerAt builds a sizer walking within [1, ceil] but seeded
+// at start (clamped into range) — the server's shape, where a fresh
+// connection's first pipelined burst should flush at the full batch
+// bound and only shrink if observed service time degrades.
+func NewBatchSizerAt(start, ceil int) *BatchSizer {
+	if start > ceil {
+		start = ceil
+	}
+	if start < 1 {
+		start = 1
+	}
+	return &BatchSizer{cur: start, ceil: ceil, dir: 1}
+}
+
+// Size reports the current batch size, always within [1, ceil].
+func (a *BatchSizer) Size() int { return a.cur }
+
+// Observe records one round's issued ops and service time, and steps
 // the batch size at each epoch boundary.
-func (a *batchSizer) observe(ops int, svc time.Duration) {
+func (a *BatchSizer) Observe(ops int, svc time.Duration) {
 	a.rounds++
 	a.ops += uint64(ops)
 	a.svcNs += svc.Nanoseconds()
@@ -300,7 +323,7 @@ func (a *batchSizer) observe(ops int, svc time.Duration) {
 // batch, as a pipelining server would interleave parsing with the
 // batched cache pass. Fixed mode issues BatchSize keys every round;
 // adaptive mode (Config.BatchAdaptive) sizes each round through a
-// batchSizer hill climb within [1, BatchSize], timing only the store
+// BatchSizer hill climb within [1, BatchSize], timing only the store
 // calls so think time never pollutes the signal.
 func runBatchedWorker(cfg *Config, store *kvstore.Store, p *numa.Proc, sl *loadSlot, getMille int64, stop *atomic.Bool, start chan struct{}) {
 	b := cfg.BatchSize
@@ -319,16 +342,16 @@ func runBatchedWorker(cfg *Config, store *kvstore.Store, p *numa.Proc, sl *loadS
 	}
 	lens := make([]int, b)
 	found := make([]bool, b)
-	var sizer *batchSizer
+	var sizer *BatchSizer
 	if cfg.BatchAdaptive {
-		sizer = newBatchSizer(b)
+		sizer = NewBatchSizer(b)
 	}
 	var sink byte
 	<-start
 	for !stop.Load() {
 		cur := b
 		if sizer != nil {
-			cur = sizer.cur
+			cur = sizer.Size()
 		}
 		getKeys, setKeys, vals = getKeys[:0], setKeys[:0], vals[:0]
 		var think int64
@@ -369,7 +392,7 @@ func runBatchedWorker(cfg *Config, store *kvstore.Store, p *numa.Proc, sl *loadS
 			sl.sets += uint64(len(setKeys))
 		}
 		if sizer != nil {
-			sizer.observe(cur, time.Since(began))
+			sizer.Observe(cur, time.Since(began))
 		}
 		if len(getKeys) > 0 {
 			for i := range getKeys {

@@ -368,7 +368,7 @@ func TestBatchAdaptiveValidation(t *testing.T) {
 func TestBatchSizerWalksWithinBounds(t *testing.T) {
 	// The policy in isolation: growth while per-op time falls, reversal
 	// when it degrades, and the walk never leaves [1, ceil].
-	a := newBatchSizer(16)
+	a := NewBatchSizer(16)
 	if a.cur != 1 {
 		t.Fatalf("sizer starts at %d, want 1", a.cur)
 	}
@@ -377,7 +377,7 @@ func TestBatchSizerWalksWithinBounds(t *testing.T) {
 	per := 100
 	for epoch := 0; epoch < 8; epoch++ {
 		for r := 0; r < adaptEpoch; r++ {
-			a.observe(a.cur, time.Duration(per*a.cur))
+			a.Observe(a.cur, time.Duration(per*a.cur))
 		}
 		if per > 20 {
 			per -= 10
@@ -393,7 +393,7 @@ func TestBatchSizerWalksWithinBounds(t *testing.T) {
 	// around and keep it shrinking while nothing improves.
 	for epoch := 0; epoch < 3; epoch++ {
 		for r := 0; r < adaptEpoch; r++ {
-			a.observe(a.cur, time.Duration(1000*per*a.cur))
+			a.Observe(a.cur, time.Duration(1000*per*a.cur))
 		}
 	}
 	if a.cur > 4 {
@@ -470,5 +470,34 @@ func TestRunBatchedThroughCombiningExecutor(t *testing.T) {
 	}
 	if res.Store.Gets != res.Gets {
 		t.Fatalf("store saw %d gets, workers issued %d", res.Store.Gets, res.Gets)
+	}
+}
+
+func TestBatchSizerSeededStart(t *testing.T) {
+	// The server seeds its per-connection sizer at the ceiling so a
+	// fresh connection's first burst flushes at the full batch bound;
+	// the walk must still shrink under degradation and stay in range.
+	a := NewBatchSizerAt(64, 64)
+	if a.Size() != 64 {
+		t.Fatalf("seeded sizer starts at %d, want 64", a.Size())
+	}
+	if got := NewBatchSizerAt(100, 16).Size(); got != 16 {
+		t.Fatalf("over-ceiling seed clamped to %d, want 16", got)
+	}
+	if got := NewBatchSizerAt(0, 16).Size(); got != 1 {
+		t.Fatalf("zero seed clamped to %d, want 1", got)
+	}
+	per := 100
+	for epoch := 0; epoch < 4; epoch++ {
+		for r := 0; r < adaptEpoch; r++ {
+			a.Observe(a.Size(), time.Duration(1000*per*a.Size()))
+		}
+		per *= 10
+		if a.Size() < 1 || a.Size() > 64 {
+			t.Fatalf("epoch %d: size %d outside [1,64]", epoch, a.Size())
+		}
+	}
+	if a.Size() >= 64 {
+		t.Fatalf("degrading service time never shrank the seeded sizer (still %d)", a.Size())
 	}
 }

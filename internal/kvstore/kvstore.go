@@ -155,25 +155,41 @@ func ParseValueMemory(s string) (ValueMemory, error) {
 type Config struct {
 	// Topo sizes per-proc statistics and the metadata cache domains.
 	Topo *numa.Topology
+	// Locking is the single seam supplying each shard's exclusion
+	// domain; build one with FromMutex, FromRW, FromExec, FromLock,
+	// FromRWLock or FromRegistry. When set it supersedes the five
+	// deprecated fields below, which remain as aliases: each maps to
+	// the From* constructor of the same shape, resolved in the
+	// historical precedence order NewExec > NewRWLock > NewLock >
+	// RWLock > Lock.
+	Locking LockSource
 	// Lock is the cache lock guarding a single-shard store (the
 	// paper's interposition point). Multi-shard stores need one lock
 	// per shard and must use NewLock instead. Exclusive locks are
 	// adapted to the store's reader-writer interface via
 	// locks.RWFromMutex, which keeps the pre-RW Get path byte for byte.
+	//
+	// Deprecated: set Locking to FromLock(m) instead.
 	Lock locks.Mutex
 	// NewLock builds one lock instance per shard; registry entries
 	// provide such factories via Entry.MutexFactory. When set it takes
 	// precedence over Lock.
+	//
+	// Deprecated: set Locking to FromMutex(f) instead.
 	NewLock func() locks.Mutex
 	// RWLock is a reader-writer cache lock for a single-shard store.
 	// When its shared mode genuinely admits concurrent readers
 	// (locks.SharesReads), Gets run in shared mode with the bounded
 	// LRU-touch policy (see TouchEvery); Sets and Deletes always take
 	// exclusive mode. Takes precedence over Lock.
+	//
+	// Deprecated: set Locking to FromRWLock(l) instead.
 	RWLock locks.RWMutex
 	// NewRWLock builds one reader-writer lock per shard; registry
 	// entries provide such factories via Entry.RWFactory. Takes
 	// precedence over NewLock, RWLock and Lock.
+	//
+	// Deprecated: set Locking to FromRW(f) instead.
 	NewRWLock func() locks.RWMutex
 	// NewExec builds one combining executor per shard (registry comb-*
 	// entries provide such factories via Entry.ExecFactory). Highest
@@ -182,6 +198,8 @@ type Config struct {
 	// whose combiner executes same-cluster batches under a single
 	// acquisition of its underlying lock. Configurations without
 	// NewExec keep the direct locking paths untouched.
+	//
+	// Deprecated: set Locking to FromExec(f) instead.
 	NewExec func() locks.Executor
 	// MaxBatch bounds how many operations of a batch API call
 	// (MGet/MSet/MDelete) run inside one critical section, capping
@@ -228,7 +246,11 @@ func (c *Config) setDefaults() error {
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
-	if c.NewExec == nil && c.NewRWLock == nil && c.NewLock == nil {
+	if c.Locking != nil {
+		if c.Shards > 1 && !c.Locking.multiShard() {
+			return fmt.Errorf("kvstore: %d shards need a factory-backed LockSource, not %s (a single pre-built lock)", c.Shards, c.Locking.describe())
+		}
+	} else if c.NewExec == nil && c.NewRWLock == nil && c.NewLock == nil {
 		if c.RWLock == nil && c.Lock == nil {
 			return fmt.Errorf("kvstore: nil lock")
 		}
@@ -322,28 +344,18 @@ func New(cfg Config) *Store {
 	if err := cfg.setDefaults(); err != nil {
 		panic(err)
 	}
-	// Resolve the lock fields into one per-shard factory, highest
-	// precedence first. An executor factory supersedes every lock
-	// field (the executor owns the shard's exclusion domain);
+	// Resolve the locking seam into one per-shard factory. An explicit
+	// Config.Locking wins; otherwise the deprecated five-field ladder
+	// folds into the equivalent LockSource (legacyLocking preserves the
+	// historical precedence). An executor source supersedes direct
+	// locking (the executor owns the shard's exclusion domain);
 	// exclusive lock sources pass through RWFromMutex so their shards
 	// keep the exclusive read path.
-	var newExec func() locks.Executor
-	var newLock func() locks.RWMutex
-	switch {
-	case cfg.NewExec != nil:
-		newExec = cfg.NewExec
-	case cfg.NewRWLock != nil:
-		newLock = cfg.NewRWLock
-	case cfg.NewLock != nil:
-		f := cfg.NewLock
-		newLock = func() locks.RWMutex { return locks.RWFromMutex(f()) }
-	case cfg.RWLock != nil:
-		rw := cfg.RWLock
-		newLock = func() locks.RWMutex { return rw }
-	default:
-		lock := cfg.Lock
-		newLock = func() locks.RWMutex { return locks.RWFromMutex(lock) }
+	src := cfg.Locking
+	if src == nil {
+		src = legacyLocking(&cfg)
 	}
+	newExec, newLock := src.builders()
 	perBuckets := ceilDiv(cfg.Buckets, cfg.Shards)
 	// Round up to a power of two for mask indexing.
 	n := 1
@@ -530,13 +542,28 @@ func (s *Store) MSet(p *numa.Proc, keys []uint64, vals [][]byte) {
 // MDelete removes every key, batched like MSet, and reports how many
 // were present.
 func (s *Store) MDelete(p *numa.Proc, keys []uint64) int {
+	return s.mdelete(p, keys, nil)
+}
+
+// MDeleteEach removes every key like MDelete and additionally reports
+// per-key presence in found (written at the same index as the key) —
+// the answer a wire protocol needs to say DELETED or NOT_FOUND per
+// operation while still paying ceil(N/MaxBatch) acquisitions.
+func (s *Store) MDeleteEach(p *numa.Proc, keys []uint64, found []bool) int {
+	if len(found) != len(keys) {
+		panic(fmt.Sprintf("kvstore: MDeleteEach with %d found for %d keys", len(found), len(keys)))
+	}
+	return s.mdelete(p, keys, found)
+}
+
+func (s *Store) mdelete(p *numa.Proc, keys []uint64, found []bool) int {
 	if len(s.shards) == 1 {
-		return s.shards[0].mdelete(p, keys, s.identityIdx(len(keys)))
+		return s.shards[0].mdelete(p, keys, s.identityIdx(len(keys)), found)
 	}
 	n := 0
 	for si, idx := range s.groupByShard(p, keys) {
 		if len(idx) > 0 {
-			n += s.shards[si].mdelete(p, keys, idx)
+			n += s.shards[si].mdelete(p, keys, idx, found)
 		}
 	}
 	return n
@@ -563,6 +590,12 @@ func (s *Store) Capacity() int {
 
 // NumShards reports the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
+
+// MaxBatch reports the per-critical-section operation bound the batch
+// APIs honor (Config.MaxBatch after defaulting). Front-ends align
+// their flush chunks to it so a flush of N ops costs exactly
+// ceil(N/MaxBatch) acquisitions.
+func (s *Store) MaxBatch() int { return s.shards[0].maxBatch }
 
 // Placement reports the routing policy.
 func (s *Store) Placement() Placement { return s.placement }

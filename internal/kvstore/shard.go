@@ -724,15 +724,22 @@ func (s *Shard) mset(p *numa.Proc, keys []uint64, vals [][]byte, idx []int) {
 }
 
 // mdelete removes the group's keys in critical sections of at most
-// maxBatch operations each, returning how many were present.
-func (s *Shard) mdelete(p *numa.Proc, keys []uint64, idx []int) int {
+// maxBatch operations each, returning how many were present. When
+// found is non-nil, per-key presence is written at the same index as
+// the key (the per-op answer a wire protocol's DELETED/NOT_FOUND
+// responses need).
+func (s *Shard) mdelete(p *numa.Proc, keys []uint64, idx []int, found []bool) int {
 	n := 0
 	for start := 0; start < len(idx); start += s.maxBatch {
 		chunk := idx[start:min(start+s.maxBatch, len(idx))]
 		s.runBatch(p, func() {
 			for _, i := range chunk {
-				if s.applyDelete(p, keys[i]) {
+				ok := s.applyDelete(p, keys[i])
+				if ok {
 					n++
+				}
+				if found != nil {
+					found[i] = ok
 				}
 			}
 		})

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRequest drives the parser with arbitrary byte streams —
+// torn pipelined frames, oversized declarations, corrupt magic — and
+// enforces its two contracts: it never panics, and every failure is
+// either a *ProtoError owed to the client (whose line must be a legal
+// error response) or a transport error. `go test` runs the seed
+// corpus; `go test -fuzz=FuzzParseRequest` explores.
+func FuzzParseRequest(f *testing.F) {
+	seeds := []string{
+		"get foo\r\n",
+		"gets a b c\r\nget x\r\n",
+		"set k 7 0 5\r\nhello\r\nget k\r\n",
+		"set k 7 0 5 noreply\r\nhello\r\n",
+		"delete k\r\ndelete k noreply\r\nversion\r\nquit\r\n",
+		"set k 0 0 65\r\n" + strings.Repeat("v", 65) + "\r\n",
+		"set k 0 0 99999999999\r\n",
+		"set k 0 0 5\r\nhelloXX",
+		"set k 0 0 -1\r\nx\r\n",
+		"cas k 0 0 5 123\r\nhello\r\n",
+		"add k 0 0 3\r\nabc\r\n",
+		"get " + strings.Repeat("k", 300) + "\r\n",
+		"get\r\n\r\nfrobnicate\r\n",
+		"set k 0 0 5\r\nhel",
+		"get a\x01b\r\nget \xff\xfe\r\n",
+		"\r\n\n\r\n",
+		"delete k 0 noreply\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := NewParser(bufio.NewReaderSize(bytes.NewReader(data), 512), Limits{MaxValueBytes: 64})
+		var req Request
+		for i := 0; i < 1000; i++ {
+			err := p.ParseRequest(&req)
+			if err == nil {
+				// A successful parse must uphold the Request
+				// invariants the connection layer relies on.
+				switch req.Kind {
+				case KindGet:
+					if len(req.Keys) == 0 {
+						t.Fatal("get with no keys")
+					}
+				case KindSet:
+					if len(req.Keys) != 1 || len(req.Value) > 64 {
+						t.Fatalf("set invariants violated: %d keys, %d bytes", len(req.Keys), len(req.Value))
+					}
+				case KindDelete:
+					if len(req.Keys) != 1 {
+						t.Fatalf("delete with %d keys", len(req.Keys))
+					}
+				}
+				continue
+			}
+			var pe *ProtoError
+			if errors.As(err, &pe) {
+				if !strings.HasPrefix(pe.Line, "CLIENT_ERROR ") &&
+					!strings.HasPrefix(pe.Line, "SERVER_ERROR ") &&
+					pe.Line != "ERROR" {
+					t.Fatalf("illegal error response line %q", pe.Line)
+				}
+				if pe.Close {
+					return
+				}
+				continue
+			}
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				t.Fatalf("unexpected transport error type: %v", err)
+			}
+			return
+		}
+	})
+}

@@ -1,0 +1,702 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kvload"
+	"repro/internal/kvstore"
+	"repro/internal/numa"
+)
+
+// Config parameterizes a Server. Topo and Store are required; every
+// other field defaults.
+type Config struct {
+	// Topo is the software NUMA topology connections are pinned
+	// against: each accept loop serves one cluster and every admitted
+	// connection owns one of that cluster's *numa.Proc handles for its
+	// lifetime (Procs carry unsynchronized per-thread state, so the
+	// exclusive ownership is load-bearing, not cosmetic).
+	Topo *numa.Topology
+	// Store is the batched store requests flush into. Under
+	// ClusterAffine placement the connection→cluster pinning keeps
+	// each connection's traffic on its cluster's home shards.
+	Store *kvstore.Store
+	// ConnsPerCluster caps concurrently admitted connections per
+	// cluster — the store-front application of restricting concurrency
+	// (see DESIGN.md §5): when a cluster's Proc pool is empty its
+	// accept loop simply stops accepting, queueing excess clients in
+	// the listen backlog instead of adding them to the contention mix.
+	// Capped by the topology's procs per cluster, which is also the
+	// default.
+	ConnsPerCluster int
+	// MaxBatch is the flush bound of a connection's pipelined run,
+	// aligned to the store's MaxBatch (the default) so a burst of N
+	// ops costs ceil(N/MaxBatch) shard acquisitions. The hill-climbing
+	// sizer walks below it when observed service time degrades.
+	MaxBatch int
+	// MaxValueBytes caps accepted set values (DoS bound; also sizes
+	// the per-connection response buffers). Default 64 KiB.
+	MaxValueBytes int
+	// ReadTimeout bounds how long a connection may sit idle or
+	// mid-request before being cut; each request read refreshes the
+	// deadline. Default 2m.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response flush. Default 30s.
+	WriteTimeout time.Duration
+	// Version is the string answered to the version command.
+	Version string
+}
+
+const (
+	// DefaultMaxValueBytes caps set values unless configured.
+	DefaultMaxValueBytes = 64 << 10
+	defaultReadTimeout   = 2 * time.Minute
+	defaultWriteTimeout  = 30 * time.Second
+	// DefaultVersion is the version string served by default.
+	DefaultVersion = "repro-kvserver 1.0"
+	// readerBufBytes is the per-connection decode buffer, which is
+	// also the request-line length bound (a ~250-byte key times a
+	// long multi-key get fits comfortably).
+	readerBufBytes = 16 << 10
+	writerBufBytes = 16 << 10
+)
+
+func (c *Config) setDefaults() error {
+	if c.Topo == nil || c.Store == nil {
+		return errors.New("server: Config needs Topo and Store")
+	}
+	perCluster := c.Topo.MaxProcs() / c.Topo.Clusters()
+	if perCluster < 1 {
+		perCluster = 1
+	}
+	if c.ConnsPerCluster <= 0 || c.ConnsPerCluster > perCluster {
+		c.ConnsPerCluster = perCluster
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = c.Store.MaxBatch()
+	}
+	if c.MaxValueBytes <= 0 {
+		c.MaxValueBytes = DefaultMaxValueBytes
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = defaultReadTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = defaultWriteTimeout
+	}
+	if c.Version == "" {
+		c.Version = DefaultVersion
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of server activity.
+type Stats struct {
+	// Accepted counts admitted connections; Active is how many are
+	// being served right now.
+	Accepted, Active uint64
+	// Gets/Sets/Deletes count operations applied to the store (a
+	// multi-key get counts one per key).
+	Gets, Sets, Deletes uint64
+	// Hits counts get operations that found their key.
+	Hits uint64
+	// Flushes counts store batch calls — Gets+Sets+Deletes over
+	// Flushes is the realized pipelining amortization.
+	Flushes uint64
+	// BadRequests counts protocol errors answered with an error line.
+	BadRequests uint64
+	// PerClusterAccepted is Accepted split by the accepting cluster.
+	PerClusterAccepted []uint64
+}
+
+// Server is the TCP front-end. Build with New, run with Serve or
+// ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	store *kvstore.Store
+
+	// pools[c] holds cluster c's admissible Proc handles; an accept
+	// loop takes one before accepting and returns it when the
+	// connection ends, so pool exhaustion IS the admission cap.
+	pools []chan *numa.Proc
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	done     chan struct{}
+	// drainFlag mirrors draining for lock-free reads on the decode
+	// loop's blocking path. Shutdown sets it BEFORE nudging read
+	// deadlines, and the loop re-checks it AFTER arming its own
+	// deadline, so a connection either sees the flag or its blocked
+	// read is woken by the nudge — never a missed drain.
+	drainFlag atomic.Bool
+
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+
+	accepted    atomic.Uint64
+	active      atomic.Int64
+	gets        atomic.Uint64
+	sets        atomic.Uint64
+	deletes     atomic.Uint64
+	hits        atomic.Uint64
+	flushes     atomic.Uint64
+	badRequests atomic.Uint64
+	perCluster  []atomic.Uint64
+}
+
+// New validates cfg and builds a Server (not yet listening).
+func New(cfg Config) (*Server, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:        cfg,
+		store:      cfg.Store,
+		pools:      make([]chan *numa.Proc, cfg.Topo.Clusters()),
+		conns:      make(map[net.Conn]struct{}),
+		done:       make(chan struct{}),
+		perCluster: make([]atomic.Uint64, cfg.Topo.Clusters()),
+	}
+	for c := range s.pools {
+		s.pools[c] = make(chan *numa.Proc, cfg.ConnsPerCluster)
+	}
+	// Deal Proc handles to their cluster's pool, up to the admission
+	// cap. Proc i belongs to cluster i mod C (numa.New's round-robin).
+	for id := 0; id < cfg.Topo.MaxProcs(); id++ {
+		p := cfg.Topo.Proc(id)
+		pool := s.pools[p.Cluster()]
+		if len(pool) < cap(pool) {
+			pool <- p
+		}
+	}
+	for c, pool := range s.pools {
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("server: cluster %d has no procs to serve connections", c)
+		}
+	}
+	return s, nil
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve runs one accept loop per cluster on ln and blocks until the
+// server is shut down (returning nil once every connection has
+// drained) or the listener fails (returning the accept error; open
+// connections keep being served and still require Shutdown).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		return errors.New("server: already serving")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	errCh := make(chan error, len(s.pools))
+	for c := range s.pools {
+		s.acceptWG.Add(1)
+		go s.acceptLoop(ln, c, errCh)
+	}
+	s.acceptWG.Wait()
+	s.connWG.Wait()
+	select {
+	case err := <-errCh:
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if !draining {
+			return err
+		}
+	default:
+	}
+	return nil
+}
+
+// acceptLoop is cluster's admission gate: it blocks until a Proc
+// handle is free in the cluster's pool, then accepts one connection
+// and hands both to a serving goroutine. No free Proc means no
+// Accept call — admission control by back-pressuring the listen
+// backlog rather than by accept-then-reject.
+func (s *Server) acceptLoop(ln net.Listener, cluster int, errCh chan<- error) {
+	defer s.acceptWG.Done()
+	pool := s.pools[cluster]
+	for {
+		var p *numa.Proc
+		select {
+		case p = <-pool:
+		case <-s.done:
+			return
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			pool <- p
+			select {
+			case <-s.done: // Shutdown closed the listener
+			default:
+				errCh <- err
+			}
+			return
+		}
+		s.accepted.Add(1)
+		s.perCluster[cluster].Add(1)
+		s.active.Add(1)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			c.Close()
+			pool <- p
+			s.active.Add(-1)
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, c)
+				s.mu.Unlock()
+				c.Close()
+				pool <- p
+				s.active.Add(-1)
+				s.connWG.Done()
+			}()
+			s.serveConn(c, p)
+		}()
+	}
+}
+
+// Shutdown gracefully drains the server: stop accepting, nudge every
+// connection's blocked read, let each connection finish the pipelined
+// requests it has already read (flushing in-flight batches and
+// writing their responses), then close. Connections still open after
+// timeout are force-closed and counted in the returned error. Because
+// responses are only ever written after the store call returns, no
+// acknowledged write is lost by draining at any moment.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.draining = true
+	s.drainFlag.Store(true)
+	ln := s.ln
+	close(s.done)
+	// Wake reads blocked on idle connections; serveConn treats a
+	// deadline error during drain as a clean goodbye.
+	now := time.Now()
+	for c := range s.conns {
+		c.SetReadDeadline(now)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-time.After(timeout):
+	}
+	s.mu.Lock()
+	forced := len(s.conns)
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-drained
+	if forced > 0 {
+		return fmt.Errorf("server: drain timeout, force-closed %d connections", forced)
+	}
+	return nil
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Snapshot returns current statistics.
+func (s *Server) Snapshot() Stats {
+	st := Stats{
+		Accepted:           s.accepted.Load(),
+		Active:             uint64(max(s.active.Load(), 0)),
+		Gets:               s.gets.Load(),
+		Sets:               s.sets.Load(),
+		Deletes:            s.deletes.Load(),
+		Hits:               s.hits.Load(),
+		Flushes:            s.flushes.Load(),
+		BadRequests:        s.badRequests.Load(),
+		PerClusterAccepted: make([]uint64, len(s.perCluster)),
+	}
+	for i := range s.perCluster {
+		st.PerClusterAccepted[i] = s.perCluster[i].Load()
+	}
+	return st
+}
+
+// getReq records one get/gets request's slice of the accumulated key
+// run, so responses reconstruct per-request END framing even though
+// the keys flush as one batch.
+type getReq struct {
+	n   int
+	cas bool
+}
+
+// conn is the per-connection decode/flush state. All buffers are
+// owned by exactly one goroutine; the Proc handle likewise.
+type conn struct {
+	srv *Server
+	c   net.Conn
+	p   *numa.Proc
+	par *Parser
+	w   *bufio.Writer
+
+	sizer *kvload.BatchSizer
+
+	// Pending same-verb run. kind is only meaningful when pending>0.
+	kind    Kind
+	pending int
+
+	getKeys    []uint64
+	getNames   []string
+	getReqs    []getReq
+	setKeys    []uint64
+	setVals    [][]byte
+	setSlots   [][]byte
+	setNoReply []bool
+	delKeys    []uint64
+	delNoReply []bool
+
+	dsts  [][]byte
+	lens  []int
+	found []bool
+
+	// Local op counters, folded into the server's atomics on close.
+	gets, sets, deletes, hits, flushes, badRequests uint64
+
+	numBuf []byte
+}
+
+var crlf = []byte("\r\n")
+
+// serveConn runs one connection's decode loop: parse, accumulate
+// same-verb runs, flush a run when the verb changes, the run reaches
+// the sizer's batch bound, or the reader has no more pipelined bytes.
+// Responses for a run are written only after its store call returns.
+func (s *Server) serveConn(nc net.Conn, p *numa.Proc) {
+	mb := s.cfg.MaxBatch
+	c := &conn{
+		srv:        s,
+		c:          nc,
+		p:          p,
+		par:        NewParser(bufio.NewReaderSize(nc, readerBufBytes), Limits{MaxValueBytes: s.cfg.MaxValueBytes}),
+		w:          bufio.NewWriterSize(nc, writerBufBytes),
+		sizer:      kvload.NewBatchSizerAt(mb, mb),
+		getKeys:    make([]uint64, 0, mb),
+		getNames:   make([]string, 0, mb),
+		getReqs:    make([]getReq, 0, mb),
+		setKeys:    make([]uint64, 0, mb),
+		setVals:    make([][]byte, 0, mb),
+		setSlots:   make([][]byte, mb),
+		setNoReply: make([]bool, 0, mb),
+		delKeys:    make([]uint64, 0, mb),
+		delNoReply: make([]bool, 0, mb),
+		dsts:       make([][]byte, mb),
+		lens:       make([]int, mb),
+		found:      make([]bool, mb),
+		numBuf:     make([]byte, 0, 24),
+	}
+	defer c.fold()
+	c.loop()
+}
+
+// fold drains the connection's local counters into the server totals.
+// Called after every flush (so Snapshot tracks live traffic at batch
+// granularity, not per-op atomics) and once more on close.
+func (c *conn) fold() {
+	s := c.srv
+	s.gets.Add(c.gets)
+	s.sets.Add(c.sets)
+	s.deletes.Add(c.deletes)
+	s.hits.Add(c.hits)
+	s.flushes.Add(c.flushes)
+	s.badRequests.Add(c.badRequests)
+	c.gets, c.sets, c.deletes, c.hits, c.flushes, c.badRequests = 0, 0, 0, 0, 0, 0
+}
+
+func (c *conn) loop() {
+	var req Request
+	for {
+		// Block for the next request, with a fresh per-request read
+		// deadline. Anything already pipelined into the buffer parses
+		// without touching the deadline. The drain check comes after
+		// arming the deadline (see drainFlag's ordering contract): a
+		// draining server answers everything already read, then says
+		// goodbye instead of blocking for more.
+		if c.par.Buffered() == 0 {
+			c.c.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
+			if c.srv.drainFlag.Load() {
+				c.flushOps()
+				c.finish()
+				return
+			}
+		}
+		err := c.par.ParseRequest(&req)
+		if err != nil {
+			var pe *ProtoError
+			if errors.As(err, &pe) {
+				// The stream is still framed (or we are about to cut
+				// it); earlier pipelined ops must answer first, in
+				// order, then the owed error line.
+				c.badRequests++
+				c.flushOps()
+				c.writeLine(pe.Line)
+				if pe.Close {
+					c.finish()
+					return
+				}
+				c.maybeFlushWriter()
+				continue
+			}
+			// Transport error or timeout. During drain a deadline
+			// nudge is the expected wake-up: finish what was read,
+			// answer it, close cleanly. Anything else just closes
+			// (flushing what we owe, best-effort).
+			c.flushOps()
+			c.finish()
+			return
+		}
+		switch req.Kind {
+		case KindGet:
+			c.accumulate(KindGet)
+			for _, k := range req.Keys {
+				c.getKeys = append(c.getKeys, HashKey(k))
+				c.getNames = append(c.getNames, k)
+			}
+			c.getReqs = append(c.getReqs, getReq{n: len(req.Keys), cas: req.CAS})
+			c.pending += len(req.Keys)
+		case KindSet:
+			c.accumulate(KindSet)
+			i := len(c.setKeys)
+			c.setSlots[i] = encodeValue(c.setSlots[i], req.Flags, req.Value)
+			c.setKeys = append(c.setKeys, HashKey(req.Keys[0]))
+			c.setVals = append(c.setVals, c.setSlots[i])
+			c.setNoReply = append(c.setNoReply, req.NoReply)
+			c.pending++
+		case KindDelete:
+			c.accumulate(KindDelete)
+			c.delKeys = append(c.delKeys, HashKey(req.Keys[0]))
+			c.delNoReply = append(c.delNoReply, req.NoReply)
+			c.pending++
+		case KindVersion:
+			c.flushOps()
+			c.writeLine("VERSION " + c.srv.cfg.Version)
+		case KindQuit:
+			c.flushOps()
+			c.finish()
+			return
+		}
+		if c.pending >= c.sizer.Size() {
+			c.flushOps()
+		}
+		if c.par.Buffered() == 0 {
+			c.flushOps()
+			c.maybeFlushWriter()
+		}
+	}
+}
+
+// accumulate starts or continues a same-verb run: a verb change
+// flushes the previous run first, preserving the connection's
+// response order (a set pipelined before a get is applied — and
+// answered — before the get reads).
+func (c *conn) accumulate(k Kind) {
+	if c.pending > 0 && c.kind != k {
+		c.flushOps()
+	}
+	c.kind = k
+}
+
+// finish flushes the response buffer and lets the caller close.
+func (c *conn) finish() {
+	c.c.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+	c.w.Flush()
+}
+
+// maybeFlushWriter pushes buffered responses before the loop blocks
+// on the socket again — the client is waiting on them to send more.
+func (c *conn) maybeFlushWriter() {
+	if c.w.Buffered() == 0 {
+		return
+	}
+	c.c.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+	if err := c.w.Flush(); err != nil {
+		// A dead write side will surface on the next read too; no
+		// separate handling needed.
+		return
+	}
+}
+
+// flushOps applies the pending run through the store's batch APIs and
+// writes its responses. The store call is timed for the sizer: if
+// per-op service time degrades (shards contended, batches outgrowing
+// amortization), subsequent flushes shrink.
+func (c *conn) flushOps() {
+	if c.pending == 0 {
+		return
+	}
+	began := time.Now()
+	switch c.kind {
+	case KindGet:
+		c.flushGets()
+	case KindSet:
+		c.srv.store.MSet(c.p, c.setKeys, c.setVals)
+		c.sets += uint64(len(c.setKeys))
+		c.flushes++
+		for _, noreply := range c.setNoReply {
+			if !noreply {
+				c.writeLine("STORED")
+			}
+		}
+		c.setKeys = c.setKeys[:0]
+		c.setVals = c.setVals[:0]
+		c.setNoReply = c.setNoReply[:0]
+	case KindDelete:
+		found := c.found[:len(c.delKeys)]
+		c.srv.store.MDeleteEach(c.p, c.delKeys, found)
+		c.deletes += uint64(len(c.delKeys))
+		c.flushes++
+		for i, noreply := range c.delNoReply {
+			if noreply {
+				continue
+			}
+			if found[i] {
+				c.writeLine("DELETED")
+			} else {
+				c.writeLine("NOT_FOUND")
+			}
+		}
+		c.delKeys = c.delKeys[:0]
+		c.delNoReply = c.delNoReply[:0]
+	}
+	c.sizer.Observe(c.pending, time.Since(began))
+	c.pending = 0
+	c.fold()
+}
+
+// flushGets answers the accumulated get run. Keys flush through MGet
+// in chunks of at most MaxBatch — matching the store's own per-
+// critical-section bound, so a single-shard run of N keys costs
+// exactly ceil(N/MaxBatch) acquisitions — and VALUE lines stream out
+// as each chunk returns, with END framing reconstructed per original
+// request. Destination buffers are lazily grown slots reused across
+// chunks and flushes.
+func (c *conn) flushGets() {
+	mb := c.srv.cfg.MaxBatch
+	reqIdx, left := 0, 0
+	if len(c.getReqs) > 0 {
+		left = c.getReqs[0].n
+	}
+	valCap := 4 + c.srv.cfg.MaxValueBytes
+	for start := 0; start < len(c.getKeys); start += mb {
+		end := min(start+mb, len(c.getKeys))
+		n := end - start
+		dsts, lens, found := c.dsts[:n], c.lens[:n], c.found[:n]
+		for i := range dsts {
+			if cap(dsts[i]) < valCap {
+				dsts[i] = make([]byte, valCap)
+			}
+			dsts[i] = dsts[i][:valCap]
+		}
+		c.srv.store.MGet(c.p, c.getKeys[start:end], dsts, lens, found)
+		c.flushes++
+		for i := 0; i < n; i++ {
+			for left == 0 {
+				// Zero-key requests cannot exist (parser enforces
+				// >= 1), so this only closes out finished requests.
+				c.writeLine("END")
+				reqIdx++
+				left = c.getReqs[reqIdx].n
+			}
+			if found[i] {
+				c.hits++
+				flags, val := decodeValue(dsts[i][:lens[i]])
+				c.writeValue(c.getNames[start+i], flags, val, c.getReqs[reqIdx].cas)
+			}
+			left--
+		}
+	}
+	c.gets += uint64(len(c.getKeys))
+	// Close out the trailing finished request(s).
+	for reqIdx < len(c.getReqs) {
+		if left == 0 {
+			c.writeLine("END")
+			reqIdx++
+			if reqIdx < len(c.getReqs) {
+				left = c.getReqs[reqIdx].n
+			}
+			continue
+		}
+		left = 0
+	}
+	c.getKeys = c.getKeys[:0]
+	c.getNames = c.getNames[:0]
+	c.getReqs = c.getReqs[:0]
+}
+
+// writeValue emits one VALUE response block:
+// "VALUE <key> <flags> <bytes>[ <cas>]\r\n<data>\r\n".
+func (c *conn) writeValue(key string, flags uint32, val []byte, cas bool) {
+	c.w.WriteString("VALUE ")
+	c.w.WriteString(key)
+	c.w.WriteByte(' ')
+	c.writeUint(uint64(flags))
+	c.w.WriteByte(' ')
+	c.writeUint(uint64(len(val)))
+	if cas {
+		c.w.WriteByte(' ')
+		c.writeUint(PseudoCAS(val))
+	}
+	c.w.Write(crlf)
+	c.w.Write(val)
+	c.w.Write(crlf)
+}
+
+func (c *conn) writeUint(v uint64) {
+	c.numBuf = strconv.AppendUint(c.numBuf[:0], v, 10)
+	c.w.Write(c.numBuf)
+}
+
+func (c *conn) writeLine(s string) {
+	c.w.WriteString(s)
+	c.w.Write(crlf)
+}

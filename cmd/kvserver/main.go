@@ -6,8 +6,11 @@
 // The engine underneath is the full stack the previous exhibits
 // measured: a sharded store guarded by any registry lock (-lock takes
 // the same names as kvbench, combining comb-* executors included),
-// cluster-affine shard placement, arena or heap value memory, and the
-// batched MGet/MSet/MDelete APIs. One accept loop runs per simulated
+// cluster-affine shard placement, arena or heap value memory, pointer
+// or compact (slab-index) shard metadata, and the batched
+// MGet/MSet/MDelete APIs. Under an adaptive-combining lock
+// (comb-a-*) a background sampler tracks peak per-shard combiner
+// occupancy, reported in the final stats line. One accept loop runs per simulated
 // NUMA cluster; every admitted connection owns one of that cluster's
 // proc handles for its lifetime, so a connection's pipelined requests
 // flush into the store as batches costing ceil(N/MaxBatch) shard
@@ -53,6 +56,7 @@ func main() {
 		maxvalFlag   = flag.Int("maxval", server.DefaultMaxValueBytes, "largest accepted value in bytes")
 		maxbatchFlag = flag.Int("maxbatch", 0, "ops per critical section for pipelined flushes (default: the store's MaxBatch)")
 		valuememFlag = flag.String("valuemem", "heap", "value backend: heap or arena")
+		indexmemFlag = flag.String("indexmem", "pointer", "shard-metadata backend: pointer or compact (slab-resident items off the GC scan path)")
 		readTOFlag   = flag.Duration("read-timeout", 0, "per-request read deadline (default 2m)")
 		writeTOFlag  = flag.Duration("write-timeout", 0, "per-flush write deadline (default 30s)")
 		drainFlag    = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound before force-closing connections")
@@ -77,6 +81,10 @@ func main() {
 	if err != nil {
 		cli.Die(tool, err)
 	}
+	indexMem, err := cli.IndexMemory(*indexmemFlag)
+	if err != nil {
+		cli.Die(tool, err)
+	}
 
 	topo := numa.New(*clustersFlag, *procsFlag)
 	locking, err := kvstore.FromRegistry(topo, *lockFlag)
@@ -91,6 +99,7 @@ func main() {
 		Capacity:    *capFlag,
 		MaxBatch:    *maxbatchFlag,
 		ValueMemory: valueMem,
+		IndexMemory: indexMem,
 	})
 	srv, err := server.New(server.Config{
 		Topo:            topo,
@@ -118,13 +127,19 @@ func main() {
 	if connsPerCluster <= 0 || connsPerCluster > *procsFlag / *clustersFlag {
 		connsPerCluster = *procsFlag / *clustersFlag
 	}
-	fmt.Fprintf(os.Stderr, "kvserver: %s on %s — lock=%s shards=%d placement=%s clusters=%d conns/cluster<=%d valuemem=%s\n",
-		server.DefaultVersion, *addrFlag, *lockFlag, *shardsFlag, placement, *clustersFlag, connsPerCluster, valueMem)
+	fmt.Fprintf(os.Stderr, "kvserver: %s on %s — lock=%s shards=%d placement=%s clusters=%d conns/cluster<=%d valuemem=%s indexmem=%s\n",
+		server.DefaultVersion, *addrFlag, *lockFlag, *shardsFlag, placement, *clustersFlag, connsPerCluster, valueMem, indexMem)
 	serveErr := srv.ListenAndServe(*addrFlag)
 
 	st := srv.Snapshot()
-	fmt.Fprintf(os.Stderr, "kvserver: served %d connections, %d gets (%d hits), %d sets, %d deletes, %d flushes, %d bad requests\n",
-		st.Accepted, st.Gets, st.Hits, st.Sets, st.Deletes, st.Flushes, st.BadRequests)
+	// Occupancy only exists for adaptive-combining locks; "-" keeps the
+	// line shape stable for everything else.
+	occ := "-"
+	if st.MaxOccupancy >= 0 {
+		occ = fmt.Sprint(st.MaxOccupancy)
+	}
+	fmt.Fprintf(os.Stderr, "kvserver: served %d connections, %d gets (%d hits), %d sets, %d deletes, %d flushes, %d bad requests, peak occupancy %s\n",
+		st.Accepted, st.Gets, st.Hits, st.Sets, st.Deletes, st.Flushes, st.BadRequests, occ)
 
 	if serveErr != nil {
 		fmt.Fprintf(os.Stderr, "kvserver: %v\n", serveErr)

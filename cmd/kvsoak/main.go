@@ -11,6 +11,12 @@
 // pressure). Connections cut mid-burst — a draining server's goodbye —
 // count their unanswered operations as dropped, not as errors.
 //
+// -json emits the result record, including the client's own collector
+// pressure (allocs per op, GC pause total and cycle count, MemStats
+// bracketed around the soak window) and an optional -indexmem label
+// naming the server's shard-metadata backend, so soak artifacts next
+// to kvbench's carry the same memory-pressure shape.
+//
 // -check replaces the soak with a scripted byte-exact session (set,
 // get, gets, multi-key pipelined get, delete, version) asserting every
 // response byte; CI uses it as the protocol conformance gate. -check
@@ -28,6 +34,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,6 +53,7 @@ type options struct {
 	keys     int
 	valSize  int
 	pipeline int
+	indexMem string
 	jsonOut  bool
 }
 
@@ -60,6 +68,7 @@ func main() {
 		valsizeFlag  = flag.Int("valsize", 64, "value size in bytes")
 		pipeFlag     = flag.Int("pipeline", 8, "operations pipelined per socket write")
 		checkFlag    = flag.Bool("check", false, "run the scripted byte-exact protocol session instead of the soak")
+		indexmemFlag = flag.String("indexmem", "", "shard-metadata backend of the server under test (pointer or compact); labels the -json result")
 		jsonFlag     = flag.Bool("json", false, "emit the result as JSON")
 	)
 	flag.Parse()
@@ -84,6 +93,16 @@ func main() {
 		valSize:  *valsizeFlag,
 		pipeline: *pipeFlag,
 		jsonOut:  *jsonFlag,
+	}
+	if *indexmemFlag != "" {
+		// The soak never builds a store itself; the flag validates
+		// through the same parser as the server tools and labels the
+		// JSON result with the backend of the server under test.
+		im, err := cli.IndexMemory(*indexmemFlag)
+		if err != nil {
+			cli.Die(tool, err)
+		}
+		opt.indexMem = im.String()
 	}
 	for name, v := range map[string]int{
 		"conns": opt.conns, "keys": opt.keys, "valsize": opt.valSize, "pipeline": opt.pipeline,
@@ -113,7 +132,11 @@ func main() {
 	}
 }
 
-// result is the soak's summary, also the -json shape.
+// result is the soak's summary, also the -json shape. The collector
+// fields are client-side MemStats brackets around the soak window —
+// the same allocs_per_op / gc_pause_ms shape kvload records — so a
+// socket soak exposes the *client's* GC pressure end to end; the
+// server's sits in its own process and is measured by kvbench.
 type result struct {
 	Ops       uint64  `json:"ops"`
 	Gets      uint64  `json:"gets"`
@@ -123,6 +146,15 @@ type result struct {
 	Dropped   uint64  `json:"dropped"`
 	Seconds   float64 `json:"seconds"`
 	OpsPerSec float64 `json:"ops_per_sec"`
+	// AllocsPerOp is Go heap allocations per completed operation over
+	// the window; GCPauseMs and GCCycles are the total stop-the-world
+	// pause and collection count the window absorbed.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	GCPauseMs   float64 `json:"gc_pause_ms"`
+	GCCycles    uint32  `json:"gc_cycles"`
+	// IndexMemory labels which shard-metadata backend the server under
+	// test ran (-indexmem); empty when unspecified.
+	IndexMemory string `json:"index_memory,omitempty"`
 }
 
 // dial connects with brief retries, so soak and check runs can race a
@@ -153,6 +185,8 @@ func runSoak(opt options) (result, error) {
 	}
 
 	var ops, gets, hits, sets, errs, dropped atomic.Uint64
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	began := time.Now()
 	stop := began.Add(opt.duration)
 	var wg sync.WaitGroup
@@ -171,10 +205,18 @@ func runSoak(opt options) (result, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(began).Seconds()
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 
 	res := result{
 		Ops: ops.Load(), Gets: gets.Load(), Hits: hits.Load(), Sets: sets.Load(),
 		Errors: errs.Load(), Dropped: dropped.Load(), Seconds: elapsed,
+		GCPauseMs:   float64(msAfter.PauseTotalNs-msBefore.PauseTotalNs) / 1e6,
+		GCCycles:    msAfter.NumGC - msBefore.NumGC,
+		IndexMemory: opt.indexMem,
+	}
+	if res.Ops > 0 {
+		res.AllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.Ops)
 	}
 	if elapsed > 0 {
 		res.OpsPerSec = float64(res.Ops) / elapsed

@@ -43,9 +43,10 @@ var metricFields = map[string]bool{
 	"speedup_vs_pthread1": true,
 	"ops_per_acq":         true,
 	"avg_batch":           true,
-	// value-memory metrics (kvbench churn cells).
+	// value-memory and index-memory metrics (kvbench churn cells).
 	"allocs_per_op": true,
 	"gc_pause_ms":   true,
+	"gc_assist_ms":  true,
 	"arena_spills":  true,
 	// lbench's sweep metrics.
 	"pairs_per_sec":       true,
@@ -66,8 +67,11 @@ type Regression struct {
 }
 
 func (r Regression) String() string {
-	if r.Metric == "allocs_per_op" {
+	switch r.Metric {
+	case "allocs_per_op":
 		return fmt.Sprintf("%s: %.2f -> %.2f allocs/op (%+.1f%%)", r.Cell, r.Old, r.New, r.Delta*100)
+	case "gc_pause_ms":
+		return fmt.Sprintf("%s: %.2f -> %.2f ms GC pause (%+.1f%%)", r.Cell, r.Old, r.New, r.Delta*100)
 	}
 	return fmt.Sprintf("%s: %.0f -> %.0f ops/s (%+.1f%%)", r.Cell, r.Old, r.New, r.Delta*100)
 }
@@ -96,8 +100,8 @@ func cellKey(rec map[string]any) string {
 // record carried the metric at all (other tools' record shapes omit
 // them).
 type cellMetrics struct {
-	ops, allocs       float64
-	hasOps, hasAllocs bool
+	ops, allocs, pause          float64
+	hasOps, hasAllocs, hasPause bool
 }
 
 // parseCells decodes one envelope into cell -> gated metrics. Cells
@@ -114,7 +118,8 @@ func parseCells(data []byte) (map[string]cellMetrics, error) {
 		var m cellMetrics
 		m.ops, m.hasOps = rec["ops_per_sec"].(float64)
 		m.allocs, m.hasAllocs = rec["allocs_per_op"].(float64)
-		if m.hasOps || m.hasAllocs {
+		m.pause, m.hasPause = rec["gc_pause_ms"].(float64)
+		if m.hasOps || m.hasAllocs || m.hasPause {
 			cells[cellKey(rec)] = m
 		}
 	}
@@ -127,14 +132,22 @@ func parseCells(data []byte) (map[string]cellMetrics, error) {
 // and a purely fractional threshold would gate on that noise.
 const minAllocRegression = 0.5
 
+// minPauseRegression is the absolute GC-pause increase (ms) a flagged
+// pause regression must also clear, for the same reason: a compact/
+// arena cell whose pauses round to fractions of a millisecond can
+// triple on a single background collection, and only the fractional
+// test would flag that noise as a regression.
+const minPauseRegression = 2.0
+
 // Diff compares two benchmark envelopes (the JSON arrays Write emits)
 // cell by cell and returns the cells that regressed by more than
 // threshold (fractional; <= 0 selects DefaultRegressionThreshold),
 // sorted worst first, plus how many cells the two envelopes had in
-// common. Two metrics gate: ops_per_sec dropping, and — for cells
-// that carry it — allocs_per_op rising (by more than the threshold
-// AND by at least minAllocRegression absolute, so near-zero alloc
-// counts don't flag on noise). Cells present in only one envelope are
+// common. Three metrics gate: ops_per_sec dropping, and — for cells
+// that carry them — allocs_per_op and gc_pause_ms rising (each by
+// more than the threshold AND by an absolute floor,
+// minAllocRegression / minPauseRegression, so near-zero readings
+// don't flag on noise). Cells present in only one envelope are
 // ignored: a trajectory gate must tolerate tables gaining and losing
 // columns across PRs.
 func Diff(oldJSON, newJSON []byte, threshold float64) (regs []Regression, compared int, err error) {
@@ -167,6 +180,13 @@ func Diff(oldJSON, newJSON []byte, threshold float64) (regs []Regression, compar
 			delta := (n.allocs - o.allocs) / o.allocs
 			if delta > threshold && n.allocs-o.allocs >= minAllocRegression {
 				regs = append(regs, Regression{Cell: cell, Metric: "allocs_per_op", Old: o.allocs, New: n.allocs, Delta: delta})
+			}
+		}
+		if o.hasPause && n.hasPause && o.pause > 0 {
+			matched = true
+			delta := (n.pause - o.pause) / o.pause
+			if delta > threshold && n.pause-o.pause >= minPauseRegression {
+				regs = append(regs, Regression{Cell: cell, Metric: "gc_pause_ms", Old: o.pause, New: n.pause, Delta: delta})
 			}
 		}
 		if matched {

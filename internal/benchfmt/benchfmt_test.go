@@ -246,3 +246,48 @@ func TestWritePropagatesErrors(t *testing.T) {
 		t.Fatal("writer error swallowed")
 	}
 }
+
+func TestDiffFlagsGCPauseRegressions(t *testing.T) {
+	oldJSON := []byte(`[
+	  {"lock":"mcs","index_memory":"compact","ops_per_sec":1000,"gc_pause_ms":4.0},
+	  {"lock":"cna","index_memory":"compact","ops_per_sec":1000,"gc_pause_ms":4.0}
+	]`)
+	newJSON := []byte(`[
+	  {"lock":"mcs","index_memory":"compact","ops_per_sec":1000,"gc_pause_ms":12.0},
+	  {"lock":"cna","index_memory":"compact","ops_per_sec":1000,"gc_pause_ms":4.2}
+	]`)
+	regs, compared, err := Diff(oldJSON, newJSON, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 2 {
+		t.Errorf("compared %d cells, want 2", compared)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("flagged %d regressions, want 1 (only mcs's pauses rose past threshold): %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Metric != "gc_pause_ms" || !strings.Contains(r.Cell, "lock=mcs") {
+		t.Errorf("wrong regression flagged: %+v", r)
+	}
+	if r.Old != 4.0 || r.New != 12.0 || r.Delta != 2.0 {
+		t.Errorf("regression = %+v, want old 4 new 12 delta 2", r)
+	}
+	if s := r.String(); !strings.Contains(s, "GC pause") {
+		t.Errorf("String() = %q, want a GC pause mention", s)
+	}
+}
+
+func TestDiffGCPauseNoiseFloor(t *testing.T) {
+	// Sub-millisecond pauses triple on one background collection; the
+	// absolute floor (minPauseRegression ms) keeps them from gating.
+	oldJSON := []byte(`[{"lock":"mcs","ops_per_sec":1000,"gc_pause_ms":0.3}]`)
+	newJSON := []byte(`[{"lock":"mcs","ops_per_sec":1000,"gc_pause_ms":1.2}]`)
+	regs, compared, err := Diff(oldJSON, newJSON, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 1 || len(regs) != 0 {
+		t.Fatalf("compared %d / flagged %v, want 1 compared, none flagged", compared, regs)
+	}
+}

@@ -75,6 +75,9 @@ type shardConfig struct {
 	// arenaBytes > 0 selects ValueArena: the shard owns an unguarded
 	// arena of this capacity for its value bytes.
 	arenaBytes int
+	// compactIndex selects IndexCompact: items live in pointer-free
+	// slabs and all index links are uint32 slab indices (see slab.go).
+	compactIndex bool
 }
 
 // Shard is one independently locked slice of the store: a chained hash
@@ -98,15 +101,22 @@ type Shard struct {
 	// concurrent readers; Get then runs the shared read path. False for
 	// exclusive locks adapted via locks.RWFromMutex, whose Gets keep
 	// the pre-RW exclusive path byte for byte.
-	sharedReads           bool
-	touchEvery            uint64
-	mask                  uint64
-	buckets               []*item
-	head                  *item // MRU
-	tail                  *item // LRU victim
-	count                 int
-	capacity              int
-	free                  *item // recycled items (chained via hnext)
+	sharedReads bool
+	touchEvery  uint64
+	mask        uint64
+	buckets     []*item
+	head        *item // MRU
+	tail        *item // LRU victim
+	count       int
+	capacity    int
+	free        *item // recycled items (chained via hnext)
+	// compact, when non-nil, replaces the pointer-linked index state
+	// above (buckets/head/tail/free) with slab-resident items linked by
+	// uint32 indices — IndexCompact mode. Every operation's critical
+	// section dispatches on it once; the locking discipline is
+	// unchanged because mutations already run single-writer and shared
+	// readers only follow links.
+	compact               *compactShard
 	domain                *cachesim.Domain
 	slots                 []opSlot
 	itemLocal, itemRemote int64
@@ -138,12 +148,16 @@ func newShard(cfg shardConfig) *Shard {
 		sharedReads: sharedReads,
 		touchEvery:  cfg.touchEvery,
 		mask:        uint64(cfg.buckets - 1),
-		buckets:     make([]*item, cfg.buckets),
 		capacity:    cfg.capacity,
 		domain:      cachesim.NewDomain(cfg.topo, numLines, cfg.cache),
 		slots:       make([]opSlot, cfg.topo.MaxProcs()),
 		itemLocal:   cfg.itemLocal,
 		itemRemote:  cfg.itemRemote,
+	}
+	if cfg.compactIndex {
+		s.compact = newCompactShard(cfg.buckets)
+	} else {
+		s.buckets = make([]*item, cfg.buckets)
 	}
 	if cfg.arenaBytes > 0 {
 		a, err := alloc.New(alloc.Config{
@@ -268,16 +282,13 @@ func (s *Shard) Get(p *numa.Proc, key uint64, dst []byte) (int, bool) {
 	// The hash-bucket walk and value copy only read item state; writers
 	// (Set/Delete and the LRU bump below) hold exclusive mode, so no
 	// mutation can overlap shared mode.
-	it := s.find(key)
-	if it == nil {
-		s.lock.RUnlock(p)
-		slot.gets++
+	n, hit := s.readValue(key, dst)
+	s.lock.RUnlock(p)
+	slot.gets++
+	if !hit {
 		slot.misses++
 		return 0, false
 	}
-	n := copy(dst, it.value)
-	s.lock.RUnlock(p)
-	slot.gets++
 	slot.hits++
 	slot.sinceTouch++
 	if slot.sinceTouch >= s.touchEvery {
@@ -285,13 +296,46 @@ func (s *Shard) Get(p *numa.Proc, key uint64, dst []byte) (int, bool) {
 		// Re-find under exclusive mode: the item may have been evicted
 		// or deleted between the shared read and this upgrade.
 		s.lock.Lock(p)
-		if it := s.find(key); it != nil {
-			s.touchItem(p, it)
-			s.lruFront(it)
-		}
+		s.touchKey(p, key)
 		s.lock.Unlock(p)
 	}
 	return n, true
+}
+
+// readValue looks up key and copies its value into dst — the layout
+// dispatch shared by the shared-mode read paths (Get and mgetShared).
+// Callers hold at least shared mode; nothing here mutates the shard.
+func (s *Shard) readValue(key uint64, dst []byte) (int, bool) {
+	if s.compact != nil {
+		i := s.cfind(key)
+		if i == nilIdx {
+			return 0, false
+		}
+		return copy(dst, s.cvalue(i, s.compact.at(i))), true
+	}
+	it := s.find(key)
+	if it == nil {
+		return 0, false
+	}
+	return copy(dst, it.value), true
+}
+
+// touchKey re-finds key and refreshes its item's locality charge and
+// LRU position — the deferred bump the shared read paths run under a
+// brief exclusive upgrade. A vanished key (evicted or deleted since
+// the shared read) is a no-op. Callers hold exclusive mode.
+func (s *Shard) touchKey(p *numa.Proc, key uint64) {
+	if s.compact != nil {
+		if i := s.cfind(key); i != nilIdx {
+			s.ctouchItem(p, s.compact.at(i))
+			s.clruFront(i)
+		}
+		return
+	}
+	if it := s.find(key); it != nil {
+		s.touchItem(p, it)
+		s.lruFront(it)
+	}
 }
 
 // getExclusive is the pre-RW read path, taken whenever the shard's
@@ -336,6 +380,9 @@ func (s *Shard) getExclusiveCS(p *numa.Proc, key uint64, dst []byte) (int, bool)
 // bump and value copy. Callers hold the shard's exclusion (the lock,
 // or the executor's combiner); statistics stay outside.
 func (s *Shard) applyGet(p *numa.Proc, key uint64, dst []byte) (int, bool) {
+	if s.compact != nil {
+		return s.capplyGet(p, key, dst)
+	}
 	// The hash-bucket walk is read-only: read-shared lines replicate
 	// across caches without coherence misses, so no charge applies.
 	it := s.find(key)
@@ -370,6 +417,10 @@ func (s *Shard) Set(p *numa.Proc, key uint64, val []byte) {
 // exclusion. The per-proc sets counter stays outside; evictions are
 // charged inside (they are part of the guarded structural change).
 func (s *Shard) applySet(p *numa.Proc, key uint64, val []byte) {
+	if s.compact != nil {
+		s.capplySet(p, key, val)
+		return
+	}
 	slot := &s.slots[p.ID()]
 	it := s.find(key)
 	if it == nil {
@@ -433,6 +484,9 @@ func (s *Shard) Delete(p *numa.Proc, key uint64) bool {
 // applyDelete is a delete's critical section; callers hold the
 // shard's exclusion.
 func (s *Shard) applyDelete(p *numa.Proc, key uint64) bool {
+	if s.compact != nil {
+		return s.capplyDelete(p, key)
+	}
 	it := s.find(key)
 	if it == nil {
 		return false
@@ -587,9 +641,17 @@ func (s *Shard) arenaCheck(p *numa.Proc) error {
 		return err
 	}
 	backed := 0
-	for it := s.head; it != nil; it = it.next {
-		if it.off != 0 {
-			backed++
+	if cs := s.compact; cs != nil {
+		for i := cs.head; i != nilIdx; i = cs.at(i).next {
+			if cs.at(i).off != 0 {
+				backed++
+			}
+		}
+	} else {
+		for it := s.head; it != nil; it = it.next {
+			if it.off != 0 {
+				backed++
+			}
 		}
 	}
 	if live := s.arena.LiveBlocks(); live != backed {
@@ -666,16 +728,11 @@ func (s *Shard) mgetShared(p *numa.Proc, keys []uint64, dsts [][]byte, lens []in
 		chunk := idx[start:min(start+s.maxBatch, len(idx))]
 		s.lock.RLock(p)
 		for _, i := range chunk {
-			it := s.find(keys[i])
-			if it == nil {
-				lens[i], found[i] = 0, false
-				continue
-			}
 			var dst []byte
 			if dsts != nil {
 				dst = dsts[i]
 			}
-			lens[i], found[i] = copy(dst, it.value), true
+			lens[i], found[i] = s.readValue(keys[i], dst)
 		}
 		s.lock.RUnlock(p)
 		for _, i := range chunk {
@@ -697,10 +754,7 @@ func (s *Shard) mgetShared(p *numa.Proc, keys []uint64, dsts [][]byte, lens []in
 		// or deleted between the shared chunk and this upgrade.
 		s.lock.Lock(p)
 		for _, k := range touch {
-			if it := s.find(k); it != nil {
-				s.touchItem(p, it)
-				s.lruFront(it)
-			}
+			s.touchKey(p, k)
 		}
 		s.lock.Unlock(p)
 	}
@@ -776,6 +830,9 @@ func (s *Shard) Snapshot() Stats {
 
 // checkLRU validates list integrity; tests use it.
 func (s *Shard) checkLRU() error {
+	if s.compact != nil {
+		return s.ccheckLRU()
+	}
 	seen := 0
 	var prev *item
 	for it := s.head; it != nil; it = it.next {

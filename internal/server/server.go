@@ -112,6 +112,14 @@ type Stats struct {
 	Flushes uint64
 	// BadRequests counts protocol errors answered with an error line.
 	BadRequests uint64
+	// MaxOccupancy is the peak per-shard combining-executor occupancy
+	// estimate (locks.EstimateOccupancy behind Store.ShardOccupancy)
+	// sampled while the server ran: how many procs were crowding one
+	// shard's combiner at the worst moment, the signal the ROADMAP's
+	// occupancy-driven admission item wants at the front door. -1 when
+	// no shard's lock exposes an estimator (everything but the
+	// adaptive-combining comb-a-* family).
+	MaxOccupancy int
 	// PerClusterAccepted is Accepted split by the accepting cluster.
 	PerClusterAccepted []uint64
 }
@@ -144,6 +152,8 @@ type Server struct {
 
 	accepted    atomic.Uint64
 	active      atomic.Int64
+	occMax      atomic.Int64
+	samplerWG   sync.WaitGroup
 	gets        atomic.Uint64
 	sets        atomic.Uint64
 	deletes     atomic.Uint64
@@ -183,7 +193,50 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: cluster %d has no procs to serve connections", c)
 		}
 	}
+	s.occMax.Store(-1)
 	return s, nil
+}
+
+// occupancySampleInterval paces the background occupancy gauge: fine
+// enough to catch contention bursts a few tens of milliseconds long,
+// coarse enough that the sampler is invisible next to request work.
+const occupancySampleInterval = 25 * time.Millisecond
+
+// startOccupancySampler begins the background occupancy gauge when at
+// least one shard's lock exposes an estimate (the adaptive combining
+// executors); stores without one keep the gauge at -1 and pay
+// nothing. The sampler keeps the peak per-shard estimate seen across
+// the server's lifetime and stops when the server begins draining.
+func (s *Server) startOccupancySampler() {
+	n := s.store.NumShards()
+	tracked := false
+	for i := 0; i < n; i++ {
+		if _, ok := s.store.ShardOccupancy(i); ok {
+			tracked = true
+			break
+		}
+	}
+	if !tracked {
+		return
+	}
+	s.samplerWG.Add(1)
+	go func() {
+		defer s.samplerWG.Done()
+		t := time.NewTicker(occupancySampleInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.done:
+				return
+			case <-t.C:
+				for i := 0; i < n; i++ {
+					if occ, ok := s.store.ShardOccupancy(i); ok && int64(occ) > s.occMax.Load() {
+						s.occMax.Store(int64(occ))
+					}
+				}
+			}
+		}
+	}()
 }
 
 // ListenAndServe listens on addr and calls Serve.
@@ -212,6 +265,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.mu.Unlock()
 
+	s.startOccupancySampler()
 	errCh := make(chan error, len(s.pools))
 	for c := range s.pools {
 		s.acceptWG.Add(1)
@@ -313,6 +367,7 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	if ln != nil {
 		ln.Close()
 	}
+	s.samplerWG.Wait() // exits promptly once done is closed
 
 	drained := make(chan struct{})
 	go func() {
@@ -355,6 +410,7 @@ func (s *Server) Snapshot() Stats {
 		Hits:               s.hits.Load(),
 		Flushes:            s.flushes.Load(),
 		BadRequests:        s.badRequests.Load(),
+		MaxOccupancy:       int(s.occMax.Load()),
 		PerClusterAccepted: make([]uint64, len(s.perCluster)),
 	}
 	for i := range s.perCluster {

@@ -352,3 +352,72 @@ func TestAdmissionCap(t *testing.T) {
 		t.Fatalf("Accepted = %d, want 2", st.Accepted)
 	}
 }
+
+// TestOccupancyGauge exercises the sampled occupancy gauge end to
+// end: a store guarded by the adaptive combining executor (the one
+// lock family with an occupancy estimator) must move the gauge off
+// its -1 sentinel while the server runs, and a store with no
+// estimator must leave it there for the server's whole life.
+func TestOccupancyGauge(t *testing.T) {
+	topo := numa.New(2, 4)
+	locking, err := kvstore.FromRegistry(topo, "comb-a-mcs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := kvstore.New(kvstore.Config{Topo: topo, Shards: 2, Locking: locking})
+	srv, err := New(Config{Topo: topo, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, serveErr := startServer(t, srv)
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	exchange(t, c, "set occ 0 0 2\r\nok\r\n", "STORED\r\n")
+	exchange(t, c, "get occ\r\n", "VALUE occ 0 2\r\nok\r\nEND\r\n")
+
+	// The sampler ticks on its own clock; wait for the first sample
+	// rather than racing it.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Snapshot().MaxOccupancy < 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("occupancy gauge never sampled: %+v", srv.Snapshot())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if st := srv.Snapshot(); st.MaxOccupancy < 0 {
+		t.Fatalf("MaxOccupancy = %d after sampled run, want >= 0", st.MaxOccupancy)
+	}
+
+	// No estimator (plain mutex store): the gauge must stay -1.
+	srv2, err := New(Config{Topo: topo, Store: newTestStore(topo, 2, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2, serveErr2 := startServer(t, srv2)
+	c2, err := net.Dial("tcp", addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	exchange(t, c2, "set occ 0 0 2\r\nok\r\n", "STORED\r\n")
+	time.Sleep(3 * occupancySampleInterval)
+	if err := srv2.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr2; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if st := srv2.Snapshot(); st.MaxOccupancy != -1 {
+		t.Fatalf("MaxOccupancy = %d without an estimator, want -1", st.MaxOccupancy)
+	}
+}

@@ -10,6 +10,7 @@
 package cohort_test
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -390,55 +391,61 @@ func BenchmarkCombining(b *testing.B) {
 	}
 }
 
-// BenchmarkSharedBatchedReads measures the composition of the two
-// read-side amortization machines end to end: a read-mostly batched
-// pipeline (99% gets, 16-key client batches) against a sharded store
-// under the reader-writer cohort lock, with MGet chunks answered in
-// shared mode vs the same construction driven through its exclusive
-// path. Shared chunks cost one RLock each and coexist across clusters;
-// exclusive chunks serialize — the gap is what the shared-mode group
-// path buys.
+// BenchmarkSharedBatchedReads measures the read-side amortization
+// machines end to end across a 50/90/99% read sweep: a batched
+// pipeline (16-key client batches) against a sharded store under the
+// reader-writer cohort lock, with MGet chunks answered three ways —
+// shared mode (one RLock per chunk), read-combined (chunks posted as
+// read closures to locks.NewRWCombining, concurrent same-cluster
+// chunks folded under one RLock), and the same construction driven
+// through its exclusive path. Shared chunks coexist across clusters;
+// combining should close on or beat shared as the read fraction and
+// same-cluster overlap rise; exclusive chunks serialize.
 func BenchmarkSharedBatchedReads(b *testing.B) {
 	threads := contendedThreads()
 	e := registry.MustLookup("rw-c-bo-mcs")
 	const keyspace = 20_000
-	for _, c := range []struct {
-		name   string
-		shared bool
-	}{
-		{"shared", true},
-		{"exclusive", false},
-	} {
-		b.Run(c.name, func(b *testing.B) {
-			topo := numa.New(4, threads)
-			var sum float64
-			for i := 0; i < b.N; i++ {
-				f := e.RWFactory(topo)
-				if !c.shared {
-					inner := f
-					f = func() locks.RWMutex { return locks.RWFromMutex(inner()) }
+	for _, reads := range []float64{0.50, 0.90, 0.99} {
+		for _, mode := range []string{"shared", "comb-rw", "exclusive"} {
+			mode := mode
+			b.Run(fmt.Sprintf("reads%.0f/%s", reads*100, mode), func(b *testing.B) {
+				topo := numa.New(4, threads)
+				var sum float64
+				for i := 0; i < b.N; i++ {
+					cfg := kvstore.Config{
+						Topo:     topo,
+						Shards:   4,
+						MaxBatch: 16,
+						Capacity: keyspace * 2,
+					}
+					switch mode {
+					case "comb-rw":
+						newRW := e.RWFactory(topo)
+						cfg.NewExec = func() locks.Executor {
+							return locks.NewRWCombining(topo, newRW())
+						}
+					case "shared":
+						cfg.NewRWLock = e.RWFactory(topo)
+					default:
+						newRW := e.RWFactory(topo)
+						cfg.NewRWLock = func() locks.RWMutex { return locks.RWFromMutex(newRW()) }
+					}
+					store := kvstore.New(cfg)
+					kvload.PopulateClusters(store, topo, keyspace, 128)
+					lcfg := kvload.DefaultConfig(topo, threads, int(reads*100))
+					lcfg.Duration = trialWindow
+					lcfg.Keyspace = keyspace
+					lcfg.ReadFraction = reads
+					lcfg.BatchSize = 16
+					res, err := kvload.Run(lcfg, store)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sum += res.Throughput()
 				}
-				store := kvstore.New(kvstore.Config{
-					Topo:      topo,
-					NewRWLock: f,
-					Shards:    4,
-					MaxBatch:  16,
-					Capacity:  keyspace * 2,
-				})
-				kvload.PopulateClusters(store, topo, keyspace, 128)
-				lcfg := kvload.DefaultConfig(topo, threads, 99)
-				lcfg.Duration = trialWindow
-				lcfg.Keyspace = keyspace
-				lcfg.ReadFraction = 0.99
-				lcfg.BatchSize = 16
-				res, err := kvload.Run(lcfg, store)
-				if err != nil {
-					b.Fatal(err)
-				}
-				sum += res.Throughput()
-			}
-			b.ReportMetric(sum/float64(b.N), "ops/s")
-		})
+				b.ReportMetric(sum/float64(b.N), "ops/s")
+			})
+		}
 	}
 }
 

@@ -21,7 +21,15 @@
 // through its exclusive path (`<name>/x`) — across every -shards
 // count. This is the Table-1-style exhibit for the cohort line's RW
 // follow-up: on read-mostly traffic shared mode should pull away from
-// every exclusive column.
+// every exclusive column. The default column set also includes the
+// comb-rw-*/comb-a-rw-* read-combining twins: each runs Gets as read
+// closures through the reader-combining executor over its base RW
+// lock, with the underlying lock's shared acquisitions counted
+// (WrapRWExec interposition), so a second table reports shared ops
+// per shared acquisition — the read-side amortization the combiner
+// buys on top of shared mode. Their JSON records carry read_combiner
+// ("fixed" or "adaptive"); plain RW records omit the field, so older
+// envelopes keep comparing.
 //
 // -batch switches to the batched-pipeline table: workers issue
 // MGet/MSet batches of the given size, and every lock column is
@@ -88,6 +96,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -173,6 +182,13 @@ type record struct {
 	// Combiner distinguishes the combining policy of -adaptive runs'
 	// executor columns: "fixed" (comb-*) or "adaptive" (comb-a-*).
 	Combiner string `json:"combiner,omitempty"`
+	// ReadCombiner marks -reads cells whose Gets ran as read closures
+	// through a reader-combining executor (comb-rw-* / comb-a-rw-*
+	// columns): "fixed" or "adaptive". Plain RW cells omit it, so
+	// pre-combining envelopes keep matching. Those cells reuse
+	// OpsPerAcq for shared ops per shared acquisition of the base
+	// lock.
+	ReadCombiner string `json:"read_combiner,omitempty"`
 	// BatchMode is the client batching policy of -adaptive runs'
 	// pipeline pair: "fixed" issues Batch keys every round, "adaptive"
 	// hill-climbs within [1,Batch]; AvgBatch is the average batch the
@@ -361,9 +377,11 @@ func main() {
 			// amortization-from-combining land side by side.
 			opt.locks = []string{"mcs", "comb-mcs", "c-bo-mcs", "comb-c-bo-mcs", "cna", "comb-cna"}
 		} else if opt.reads > 0 {
-			// The RW table defaults to the native reader-writer family;
-			// each gets a shared and an exclusive column.
-			opt.locks = registry.RWNames()
+			// The RW table defaults to the native reader-writer family —
+			// each gets a shared and an exclusive column — plus the
+			// read-combining twins (shared-only columns with a shared
+			// ops-per-acquisition metric).
+			opt.locks = append(registry.RWNames(), registry.RWCombiningNames()...)
 		} else {
 			// The paper's Table 1 columns plus the headline extension locks,
 			// so the standard tables track the growing family. (mallocbench
@@ -1143,10 +1161,81 @@ func measureRW(opt options, topo *numa.Topology, e registry.Entry, threads, shar
 	return res.Throughput(), nil
 }
 
+// measureRWComb runs one read-combining cell of the RW table: a
+// comb-rw-* / comb-a-rw-* entry rebuilt through WrapRWExec so a
+// CountRWAcquisitions counter sits between the reader-combiner and
+// the base RW lock — a combined read batch counts as the single
+// shared acquisition it is. Alongside throughput it reports shared
+// ops per shared acquisition over the measured window: how many read
+// closures each RLock of the base lock amortized (1.0 means every
+// read paid its own RLock, i.e. the uncontended bypass; higher means
+// the combiner folded concurrent same-cluster reads together).
+func measureRWComb(opt options, topo *numa.Topology, e registry.Entry, threads, shards int) (tp, sharedOpsPerAcq float64, err error) {
+	var excl, shared atomic.Uint64
+	base := registry.MustLookup(e.Base)
+	newRW := base.NewRW
+	var execs []locks.RWExecutor
+	cfg := kvstore.Config{Topo: topo, MaxBatch: opt.batch, ValueMemory: opt.valueMem, IndexMemory: opt.indexMem}
+	cfg.NewExec = func() locks.Executor {
+		x := e.WrapRWExec(topo, locks.CountRWAcquisitions(newRW(topo), &excl, &shared))
+		execs = append(execs, x)
+		return x
+	}
+	if shards > 1 {
+		sizeShards(&cfg, opt, topo, shards)
+	}
+	applyCapacity(&cfg, opt)
+	store := kvstore.New(cfg)
+	kvload.PopulateClusters(store, topo, opt.keyspace, 128)
+	runtime.GC() // population litters the heap; keep GC out of the window
+	opsBefore, acqBefore := sharedOpsSum(execs), shared.Load()
+	cfg2 := kvload.DefaultConfig(topo, threads, int(opt.reads*100))
+	cfg2.Duration = opt.duration
+	cfg2.Keyspace = opt.keyspace
+	cfg2.Affinity = opt.affinity
+	cfg2.ReadFraction = opt.reads
+	cfg2.BatchSize = opt.batch
+	res, err := kvload.Run(cfg2, store)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s @%d x%d shards (reads=%g): %w", e.Name, threads, shards, opt.reads, err)
+	}
+	if acq := shared.Load() - acqBefore; acq > 0 {
+		sharedOpsPerAcq = float64(sharedOpsSum(execs)-opsBefore) / float64(acq)
+	}
+	return res.Throughput(), sharedOpsPerAcq, nil
+}
+
+// sharedOpsSum totals the read closures the given executors have run
+// (every shard's executor of one read-combining cell).
+func sharedOpsSum(execs []locks.RWExecutor) uint64 {
+	type sharedOps interface{ SharedOps() uint64 }
+	var n uint64
+	for _, x := range execs {
+		if s, ok := x.(sharedOps); ok {
+			n += s.SharedOps()
+		}
+	}
+	return n
+}
+
+// readCombinerLabel names a comb-rw-* entry's policy for the
+// read_combiner record field and the stderr trace.
+func readCombinerLabel(name string) string {
+	if strings.HasPrefix(name, "comb-a-") {
+		return "adaptive"
+	}
+	return "fixed"
+}
+
 // runRW emits the reader-writer read-path tables: per shard count, one
 // column pair per lock — shared-mode Gets vs the same construction
 // driven exclusively (`<name>/x`) — at the -reads fraction, normalized
-// like Table 1 to pthread at one thread on one shard.
+// like Table 1 to pthread at one thread on one shard. Read-combining
+// entries (comb-rw-*, comb-a-rw-*) contribute a single shared column
+// (their writes already run combined; an exclusive-read variant would
+// measure a different executor, not a different read protocol) and
+// feed a second table: shared ops per shared acquisition of the base
+// lock, the combiner's read-side amortization.
 func runRW(opt options, topo *numa.Topology) ([]record, error) {
 	base, err := measureRW(opt, topo, registry.MustLookup("pthread"), 1, 1, false)
 	if err != nil {
@@ -1158,12 +1247,19 @@ func runRW(opt options, topo *numa.Topology) ([]record, error) {
 		name   string
 		entry  registry.Entry
 		shared bool
+		comb   bool
 	}
 	var cols []column
+	haveComb := false
 	for _, name := range opt.locks {
 		e, err := registry.Find(name)
 		if err != nil {
 			return nil, err
+		}
+		if e.NewRWExec != nil {
+			cols = append(cols, column{e.Name, e, true, true})
+			haveComb = true
+			continue
 		}
 		if e.NewMutex == nil && e.NewRW == nil {
 			if e.NewExec != nil {
@@ -1172,26 +1268,41 @@ func runRW(opt options, topo *numa.Topology) ([]record, error) {
 			return nil, fmt.Errorf("lock %q is abortable-only and cannot guard the store", name)
 		}
 		if e.NewRW != nil {
-			cols = append(cols, column{e.Name, e, true})
+			cols = append(cols, column{e.Name, e, true, false})
 		}
-		cols = append(cols, column{e.Name + "/x", e, false})
+		cols = append(cols, column{e.Name + "/x", e, false, false})
 	}
 
 	var records []record
 	for _, shards := range opt.shards {
 		title := fmt.Sprintf("RW read path (%.4g%% gets): speedup over pthread@1", opt.reads*100)
+		amortTitle := fmt.Sprintf("RW read path (%.4g%% gets): shared ops per shared acquisition", opt.reads*100)
 		if shards > 1 {
-			title = fmt.Sprintf("%s [%d shards, %s placement]", title, shards, opt.placement)
+			suffix := fmt.Sprintf(" [%d shards, %s placement]", shards, opt.placement)
+			title += suffix
+			amortTitle += suffix
 		}
 		headers := []string{"threads"}
 		for _, c := range cols {
 			headers = append(headers, c.name)
 		}
 		tb := stats.NewTable(title, headers...)
+		ab := stats.NewTable(amortTitle, headers...)
 		for _, n := range opt.threads {
 			row := []string{fmt.Sprint(n)}
+			amortRow := []string{fmt.Sprint(n)}
 			for _, c := range cols {
-				tp, err := measureRW(opt, topo, c.entry, n, shards, c.shared)
+				var (
+					tp, opsPerAcq float64
+					err           error
+					combiner      string
+				)
+				if c.comb {
+					tp, opsPerAcq, err = measureRWComb(opt, topo, c.entry, n, shards)
+					combiner = readCombinerLabel(c.entry.Name)
+				} else {
+					tp, err = measureRW(opt, topo, c.entry, n, shards, c.shared)
+				}
 				if err != nil {
 					return nil, err
 				}
@@ -1208,17 +1319,32 @@ func runRW(opt options, topo *numa.Topology) ([]record, error) {
 					Placement: placement, Affinity: affinity,
 					OpsPerSec: tp, Speedup: stats.Speedup(base, tp),
 					Reads: opt.reads, ReadPath: path,
+					OpsPerAcq: opsPerAcq, ReadCombiner: combiner,
 					ValueMemory: opt.vmLabel(), IndexMemory: opt.imLabel(),
 				})
 				row = append(row, stats.F(stats.Speedup(base, tp), 2))
-				fmt.Fprintf(os.Stderr, "ran reads=%g %-14s threads=%-4d shards=%-3d %.0f ops/s\n",
-					opt.reads, c.name, n, shards, tp)
+				if c.comb {
+					amortRow = append(amortRow, stats.F(opsPerAcq, 2))
+					fmt.Fprintf(os.Stderr, "ran reads=%g %-16s threads=%-4d shards=%-3d %.0f ops/s %.2f shared ops/acq\n",
+						opt.reads, c.name, n, shards, tp, opsPerAcq)
+				} else {
+					amortRow = append(amortRow, "-")
+					fmt.Fprintf(os.Stderr, "ran reads=%g %-16s threads=%-4d shards=%-3d %.0f ops/s\n",
+						opt.reads, c.name, n, shards, tp)
+				}
 			}
 			tb.AddRow(row...)
+			if haveComb {
+				ab.AddRow(amortRow...)
+			}
 		}
 		if !opt.jsonOut {
 			fmt.Print(cli.Emit(tb, opt.csv))
 			fmt.Println()
+			if haveComb {
+				fmt.Print(cli.Emit(ab, opt.csv))
+				fmt.Println()
+			}
 		}
 	}
 	return records, nil

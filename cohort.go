@@ -18,7 +18,10 @@
 // load-adaptive variant (NewCombiningAdaptive) whose patience and
 // harvest depth track a per-cluster occupancy estimate, and a
 // shared-mode executor face (ExecFromRWLock) that batches read-only
-// sections under one shared acquisition.
+// sections under one shared acquisition — with NewRWCombining (and
+// NewRWCombiningAdaptive) going further: an elected per-cluster
+// reader-combiner harvests same-cluster read closures and runs the
+// whole batch under a single shared acquisition.
 //
 // # Model
 //
@@ -324,6 +327,37 @@ type RWExecutor = locks.RWExecutor
 // family.
 func ExecFromRWLock(l RWLock) RWExecutor { return locks.ExecFromRWMutex(l) }
 
+// RWCombiningLock is the read-side combining executor: exclusive
+// closures run through a CombiningLock over the underlying lock, and
+// shared closures are posted to per-cluster publication slots where
+// an elected reader-combiner runs whole harvested same-cluster
+// batches under ONE shared acquisition — N overlapping same-cluster
+// reads cost one RLock instead of N. A lone reader bypasses the
+// machinery (its own RLock, no election), so idle read traffic pays
+// nothing; SharedOps/SharedBatches report the amortization alongside
+// the exclusive side's Ops/Batches.
+type RWCombiningLock = locks.RWCombining
+
+// NewRWCombining builds a read-side combining executor over a fresh
+// reader-writer lock (the executor owns it; do not lock it directly).
+func NewRWCombining(topo *Topology, underlying RWLock) *RWCombiningLock {
+	return locks.NewRWCombining(topo, underlying)
+}
+
+// AdaptiveRWCombiningLock is RWCombiningLock with the occupancy-
+// adaptive election policy of AdaptiveCombiningLock on both modes:
+// patience and harvest depth track per-cluster posted-closure
+// occupancy, and the estimate (exclusive + shared) is exposed through
+// Occupancy / OccupancyEstimate.
+type AdaptiveRWCombiningLock = locks.RWCombiningAdaptive
+
+// NewRWCombiningAdaptive builds a load-adaptive read-side combining
+// executor over a fresh reader-writer lock (the executor owns it; do
+// not lock it directly).
+func NewRWCombiningAdaptive(topo *Topology, underlying RWLock) *AdaptiveRWCombiningLock {
+	return locks.NewRWCombiningAdaptive(topo, underlying)
+}
+
 // RestrictedLock wraps any Lock with generic concurrency restriction
 // (Dice & Kogan, 2019): at most K waiters per cluster compete for the
 // inner lock, the surplus parks FIFO. See NewRestricted.
@@ -339,12 +373,14 @@ func NewRestricted(topo *Topology, inner Lock, perCluster int) *RestrictedLock {
 
 // Interface conformance checks.
 var (
-	_ Lock     = (*CohortLock)(nil)
-	_ TryLock  = (*AbortableCohortLock)(nil)
-	_ Lock     = (*CNALock)(nil)
-	_ Lock     = (*RestrictedLock)(nil)
-	_ RWLock   = (*RWCohortLock)(nil)
-	_ RWLock   = (*RWPerClusterLock)(nil)
-	_ Executor = (*CombiningLock)(nil)
-	_ Executor = (*AdaptiveCombiningLock)(nil)
+	_ Lock       = (*CohortLock)(nil)
+	_ TryLock    = (*AbortableCohortLock)(nil)
+	_ Lock       = (*CNALock)(nil)
+	_ Lock       = (*RestrictedLock)(nil)
+	_ RWLock     = (*RWCohortLock)(nil)
+	_ RWLock     = (*RWPerClusterLock)(nil)
+	_ Executor   = (*CombiningLock)(nil)
+	_ Executor   = (*AdaptiveCombiningLock)(nil)
+	_ RWExecutor = (*RWCombiningLock)(nil)
+	_ RWExecutor = (*AdaptiveRWCombiningLock)(nil)
 )

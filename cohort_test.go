@@ -88,6 +88,39 @@ func TestAdaptiveCombiningAndRWExecutorFacade(t *testing.T) {
 	}
 }
 
+func TestRWCombiningFacade(t *testing.T) {
+	// The read-side combining faces: closures run exactly once in both
+	// modes, the shared counters track the idle bypass (one batch per
+	// lone closure), and the adaptive variant exposes a quiescent
+	// occupancy estimate of zero.
+	topo := cohort.NewTopology(2, 8)
+	p := topo.Proc(0)
+
+	x := cohort.NewRWCombining(topo, cohort.NewRWPerCluster(topo, cohort.NewCBOMCS(topo)))
+	n := 0
+	for i := 0; i < 10; i++ {
+		x.ExecShared(p, func() { n++ })
+	}
+	x.Exec(p, func() { n++ })
+	if n != 11 {
+		t.Fatalf("rw combining executor ran %d closures, want 11", n)
+	}
+	if ops, batches := x.SharedOps(), x.SharedBatches(); ops != 10 || batches != 10 {
+		t.Fatalf("idle shared counters = (%d ops, %d batches), want (10, 10): every lone closure bypasses", ops, batches)
+	}
+
+	a := cohort.NewRWCombiningAdaptive(topo, cohort.NewRWPerCluster(topo, cohort.NewCBOMCS(topo)))
+	m := 0
+	a.ExecShared(p, func() { m++ })
+	a.Exec(p, func() { m++ })
+	if m != 2 {
+		t.Fatalf("adaptive rw combining executor ran %d closures, want 2", m)
+	}
+	if occ := a.OccupancyEstimate(); occ != 0 {
+		t.Fatalf("quiescent occupancy estimate = %d, want 0", occ)
+	}
+}
+
 func TestWithHandoffLimitVisible(t *testing.T) {
 	topo := cohort.NewTopology(2, 4)
 	l := cohort.NewCTKTTKT(topo, cohort.WithHandoffLimit(5))

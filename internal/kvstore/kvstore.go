@@ -61,6 +61,19 @@
 // per the TouchEvery policy), so batched read-mostly traffic pays
 // ceil(N/MaxBatch) RLocks that other clusters' readers don't even
 // serialize against.
+//
+// Read-side combining closes the remaining read-path gap: when the
+// executor behind the delegated-execution seam is a locks.RWExecutor
+// whose shared mode is genuine (a comb-rw-* registry entry, or
+// locks.NewRWCombining over a native RW lock), the shard posts each
+// Get and each MGet chunk as a read closure through ExecShared. A
+// per-cluster reader-combiner then folds concurrent same-cluster
+// chunks into ONE shared acquisition of the underlying lock, dropping
+// the read path below the ceil(N/MaxBatch)-RLocks floor whenever
+// same-cluster readers overlap — and an idle-path bypass runs a lone
+// closure under its own RLock so uncontended reads pay exactly what
+// the direct shared-chunk path pays. Deferred LRU touches ride the
+// exclusive combiner as before.
 package kvstore
 
 import (

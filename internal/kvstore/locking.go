@@ -93,9 +93,11 @@ func FromRWLock(l locks.RWMutex) LockSource {
 // FromRegistry resolves a lock name through the registry (with its
 // "did you mean" errors) into the source a tool would build for that
 // entry: combining entries (comb-*, comb-a-*) become executor
-// sources, genuine reader-writer entries (rw-*) become RW sources,
-// and plain exclusive entries become mutex sources — the same
-// precedence kvbench applies when wiring a store by name.
+// sources (the comb-rw-* twins' executors carry a genuinely shared
+// read mode, which the shard detects and routes its read paths
+// through — see Shard.rwexec), genuine reader-writer entries (rw-*)
+// become RW sources, and plain exclusive entries become mutex sources
+// — the same precedence kvbench applies when wiring a store by name.
 func FromRegistry(topo *numa.Topology, name string) (LockSource, error) {
 	e, err := registry.Find(name)
 	if err != nil {

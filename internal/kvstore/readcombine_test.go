@@ -1,0 +1,386 @@
+package kvstore
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/locks"
+	"repro/internal/numa"
+)
+
+// rwCombStore builds a single-shard store whose exclusion seam is a
+// read-combining executor over a genuine RW lock instrumented with
+// separate exclusive/shared acquisition counters. The returned
+// RWPerCluster is the raw inner lock, so tests can hold it exclusively
+// from outside the executor to pile readers up deterministically.
+func rwCombStore(topo *numa.Topology, maxBatch, touchEvery int, excl, shared *atomic.Uint64) (*Store, *locks.RWPerCluster) {
+	inner := locks.NewRWPerCluster(topo, locks.NewMCS(topo))
+	x := locks.NewRWCombining(topo, locks.CountRWAcquisitions(inner, excl, shared))
+	s := New(Config{
+		Topo:       topo,
+		NewExec:    func() locks.Executor { return x },
+		MaxBatch:   maxBatch,
+		TouchEvery: touchEvery,
+		Buckets:    512,
+		Capacity:   4096,
+	})
+	return s, inner
+}
+
+func TestReadCombiningShardDetection(t *testing.T) {
+	// The shard must route reads through ExecShared exactly when the
+	// executor has a genuinely shared read mode: comb-rw-* entries set
+	// rwexec, plain comb-* entries (and RWCombining over an adapted
+	// exclusive lock) keep the exclusive batch path.
+	topo := numa.New(2, 4)
+	build := func(name string) *Store {
+		src, err := FromRegistry(topo, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return New(Config{Topo: topo, Locking: src, Buckets: 64, Capacity: 128})
+	}
+	s := build("comb-rw-mcs")
+	if s.shards[0].rwexec == nil || !s.shards[0].sharedReads {
+		t.Fatal("comb-rw-mcs store did not select the read-combined shared path")
+	}
+	s = build("comb-a-rw-mcs")
+	if s.shards[0].rwexec == nil || !s.shards[0].sharedReads {
+		t.Fatal("comb-a-rw-mcs store did not select the read-combined shared path")
+	}
+	s = build("comb-mcs")
+	if s.shards[0].rwexec != nil || s.shards[0].sharedReads {
+		t.Fatal("comb-mcs store left the exclusive executor path")
+	}
+	over := New(Config{
+		Topo: topo,
+		NewExec: func() locks.Executor {
+			return locks.NewRWCombining(topo, locks.RWFromMutex(locks.NewMCS(topo)))
+		},
+		Buckets: 64, Capacity: 128,
+	})
+	if over.shards[0].rwexec != nil || over.shards[0].sharedReads {
+		t.Fatal("RWCombining over an exclusive adapter must not select the shared path")
+	}
+}
+
+func TestReadCombinedMGetUncontendedMatchesSharedChunks(t *testing.T) {
+	// With no concurrent readers every posted chunk takes the
+	// single-closure bypass: a group of N lookups costs exactly
+	// ceil(N/MaxBatch) RLock acquisitions — the PR 5 shared-chunk
+	// floor, acquisition for acquisition — and the executor's shared
+	// counters advance in lockstep (SharedBatches == SharedOps).
+	topo := numa.New(2, 4)
+	p := topo.Proc(0)
+	const n, batch = 16, 4
+	var excl, shared atomic.Uint64
+	s, _ := rwCombStore(topo, batch, 1<<20, &excl, &shared)
+
+	keys := make([]uint64, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+		vals[i] = val(i)
+	}
+	s.MSet(p, keys, vals)
+
+	dsts := make([][]byte, n)
+	for i := range dsts {
+		dsts[i] = make([]byte, 32)
+	}
+	lens := make([]int, n)
+	found := make([]bool, n)
+	e0, s0 := excl.Load(), shared.Load()
+	s.MGet(p, keys, dsts, lens, found)
+	const ceil = (n + batch - 1) / batch
+	if got := shared.Load() - s0; got != ceil {
+		t.Errorf("read-combined MGet of %d keys took %d RLock acquisitions, want ceil(%d/%d)=%d", n, got, n, batch, ceil)
+	}
+	if got := excl.Load() - e0; got != 0 {
+		t.Errorf("read-combined MGet took %d exclusive acquisitions, want 0 (touch stride never samples)", got)
+	}
+	x := s.shards[0].rwexec.(*locks.RWCombining)
+	if ops, b := x.SharedOps(), x.SharedBatches(); ops != b {
+		t.Errorf("uncontended shared counters diverged: SharedOps=%d SharedBatches=%d (every closure should bypass)", ops, b)
+	}
+	for i := range keys {
+		if !found[i] || !bytes.Equal(dsts[i][:lens[i]], vals[i]) {
+			t.Fatalf("key %d: got (%q,%v), want %q", keys[i], dsts[i][:lens[i]], found[i], vals[i])
+		}
+	}
+}
+
+func TestReadCombinedMGetContention(t *testing.T) {
+	// The acceptance criterion: under multi-reader same-cluster
+	// contention, shared acquisitions per read op drop strictly below
+	// the non-combining baseline (one RLock per chunk). Deterministic
+	// pile-up: the inner lock is held exclusively from outside the
+	// executor, so the first reader bypasses into a blocked RLock and
+	// one elected reader-combiner blocks inside its single shared
+	// acquisition while the remaining same-cluster readers publish;
+	// releasing the writer drains every piled-up chunk under the
+	// combiner's one RLock.
+	topo := numa.New(2, 16)
+	var excl, shared atomic.Uint64
+	s, inner := rwCombStore(topo, 4, 1<<20, &excl, &shared)
+
+	const workers, nkeys = 4, 4
+	keys := make([]uint64, nkeys)
+	vals := make([][]byte, nkeys)
+	for i := range keys {
+		keys[i] = uint64(i)
+		vals[i] = val(i)
+	}
+	s.MSet(topo.Proc(1), keys, vals)
+
+	holder := topo.Proc(15)
+	inner.Lock(holder)
+	e0, s0 := excl.Load(), shared.Load()
+
+	// Four workers, all on cluster 0 (even proc ids), one chunk each.
+	var wg sync.WaitGroup
+	bad := make([]bool, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := topo.Proc(2 * w)
+			dsts := make([][]byte, nkeys)
+			for i := range dsts {
+				dsts[i] = make([]byte, 32)
+			}
+			lens := make([]int, nkeys)
+			found := make([]bool, nkeys)
+			s.MGet(p, keys, dsts, lens, found)
+			for i := range keys {
+				if !found[i] || !bytes.Equal(dsts[i][:lens[i]], vals[i]) {
+					bad[w] = true
+				}
+			}
+		}(w)
+	}
+	// Let every worker publish its chunk closure against the held lock.
+	time.Sleep(50 * time.Millisecond)
+	inner.Unlock(holder)
+	wg.Wait()
+
+	for w := range bad {
+		if bad[w] {
+			t.Fatalf("worker %d read wrong bytes through the combined path", w)
+		}
+	}
+	// Baseline cost is one RLock per chunk = workers acquisitions; the
+	// reader-combiner must do strictly better.
+	if got := shared.Load() - s0; got >= workers {
+		t.Errorf("piled-up read-combined MGets took %d shared acquisitions for %d chunks, want < %d", got, workers, workers)
+	}
+	if got := excl.Load() - e0; got != 0 {
+		t.Errorf("piled-up read-combined MGets took %d exclusive acquisitions, want 0", got)
+	}
+}
+
+func TestReadCombinedMGetSequentialEquivalence(t *testing.T) {
+	// Byte-for-byte and stat-for-stat equivalence against the PR 5
+	// shared-chunk path: a single-threaded op script must answer
+	// identically and leave identical full statistics (coherence
+	// charges included) whether chunks bracket RLock directly or are
+	// posted through the read-combining executor — the bypass and the
+	// eagerly elected touch combine reduce to exactly the same lock
+	// script.
+	topo := numa.New(2, 4)
+	p := topo.Proc(0)
+	build := func(combined bool) *Store {
+		cfg := Config{
+			Topo:       topo,
+			MaxBatch:   5,
+			TouchEvery: 3,
+			Buckets:    256,
+			Capacity:   32, // small: the script drives evictions
+		}
+		if combined {
+			cfg.NewExec = func() locks.Executor {
+				return locks.NewRWCombining(topo, locks.NewRWPerCluster(topo, locks.NewMCS(topo)))
+			}
+		} else {
+			cfg.NewRWLock = func() locks.RWMutex {
+				return locks.NewRWPerCluster(topo, locks.NewMCS(topo))
+			}
+		}
+		return New(cfg)
+	}
+	base, comb := build(false), build(true)
+
+	script := func(s *Store) ([]byte, Stats) {
+		var out []byte
+		keys := make([]uint64, 0, 48)
+		for i := 0; i < 48; i++ { // overflows capacity: evictions
+			keys = append(keys, uint64(i))
+		}
+		vals := make([][]byte, len(keys))
+		for i := range vals {
+			vals[i] = val(i)
+		}
+		s.MSet(p, keys, vals)
+
+		// Reads with duplicates and misses, then single Gets to walk
+		// the touch sampling, then overwrites and deletes.
+		rk := append(append([]uint64{}, keys[20:]...), keys[30], keys[31], 9999, 10001)
+		dsts := make([][]byte, len(rk))
+		lens := make([]int, len(rk))
+		found := make([]bool, len(rk))
+		for i := range dsts {
+			dsts[i] = make([]byte, 32)
+		}
+		s.MGet(p, rk, dsts, lens, found)
+		for i := range rk {
+			out = append(out, byte(lens[i]))
+			if found[i] {
+				out = append(out, 1)
+				out = append(out, dsts[i][:lens[i]]...)
+			} else {
+				out = append(out, 0)
+			}
+		}
+		dst := make([]byte, 32)
+		for i := 0; i < 24; i++ {
+			n, ok := s.Get(p, uint64(24+i), dst)
+			out = append(out, byte(n))
+			if ok {
+				out = append(out, 1)
+				out = append(out, dst[:n]...)
+			} else {
+				out = append(out, 0)
+			}
+		}
+		for i := 40; i < 48; i++ {
+			s.Set(p, uint64(i), val(i*7))
+		}
+		for i := 44; i < 46; i++ {
+			if s.Delete(p, uint64(i)) {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+		}
+		s.MGet(p, rk, dsts, lens, found)
+		for i := range rk {
+			out = append(out, byte(lens[i]), byte(btoi(found[i])))
+		}
+		return out, s.Snapshot()
+	}
+
+	wantBytes, wantStats := script(base)
+	gotBytes, gotStats := script(comb)
+	if !bytes.Equal(wantBytes, gotBytes) {
+		t.Fatal("read-combined op script answered differently from the shared-chunk path")
+	}
+	if gotStats != wantStats {
+		t.Fatalf("stats diverged:\n shared-chunk:  %+v\n read-combined: %+v", wantStats, gotStats)
+	}
+	if err := base.checkLRU(); err != nil {
+		t.Fatal(err)
+	}
+	if err := comb.checkLRU(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestReadCombinedConcurrentWithWriters(t *testing.T) {
+	// Read-combined batched readers against exclusive writers through
+	// one construction: values must never tear and shard invariants
+	// must hold. Runs under -race in CI, which also checks the
+	// happens-before edges of the publication slots and the harvested
+	// closures.
+	topo := numa.New(4, 12)
+	s := New(Config{
+		Topo: topo,
+		NewExec: func() locks.Executor {
+			return locks.NewRWCombiningAdaptive(topo, locks.NewRWPerCluster(topo, locks.NewMCS(topo)))
+		},
+		Shards:     2,
+		MaxBatch:   4,
+		TouchEvery: 4,
+		Buckets:    256,
+		Capacity:   1024,
+	})
+	const keyspace = 64
+	val := func(b byte) []byte { return bytes.Repeat([]byte{b}, 32) }
+	seed := topo.Proc(0)
+	for k := uint64(0); k < keyspace; k++ {
+		s.Set(seed, k, val(byte(k)))
+	}
+
+	var bad atomic.Int64
+	var readers, writers sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 8; r++ {
+		readers.Add(1)
+		go func(p *numa.Proc) {
+			defer readers.Done()
+			const b = 8
+			keys := make([]uint64, b)
+			dsts := make([][]byte, b)
+			for i := range dsts {
+				dsts[i] = make([]byte, 32)
+			}
+			lens := make([]int, b)
+			found := make([]bool, b)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range keys {
+					keys[i] = uint64(p.RandN(keyspace))
+				}
+				s.MGet(p, keys, dsts, lens, found)
+				for i := range keys {
+					if !found[i] {
+						continue
+					}
+					for _, c := range dsts[i][1:lens[i]] {
+						if c != dsts[i][0] {
+							bad.Add(1)
+							break
+						}
+					}
+				}
+			}
+		}(topo.Proc(r))
+	}
+	for w := 8; w < 12; w++ {
+		writers.Add(1)
+		go func(p *numa.Proc) {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				k := uint64(p.RandN(keyspace))
+				switch p.RandN(10) {
+				case 0:
+					s.Delete(p, k)
+				default:
+					s.Set(p, k, val(byte(p.RandN(256))))
+				}
+			}
+		}(topo.Proc(w))
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("read-combined batched readers observed %d torn values", bad.Load())
+	}
+	if err := s.checkLRU(); err != nil {
+		t.Fatal(err)
+	}
+}

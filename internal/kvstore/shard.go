@@ -94,13 +94,24 @@ type Shard struct {
 	// shard lock directly. lock is nil on this path — the executor owns
 	// the exclusion domain.
 	exec locks.Executor
+	// rwexec, when non-nil, is exec's shared mode: the executor is a
+	// read-combining RWExecutor (locks.RWCombining or its adaptive
+	// twin) whose shared closures genuinely coexist, so the shared read
+	// paths post per-chunk read closures through ExecShared — concurrent
+	// same-cluster readers fold into ONE RLock of the underlying lock —
+	// instead of bracketing RLock directly. Always the same value as
+	// exec, pre-asserted to the RW interface; nil when exec is nil or
+	// exclusive-only.
+	rwexec locks.RWExecutor
 	// maxBatch bounds how many batched operations (MGet/MSet/MDelete)
 	// run inside one critical section.
 	maxBatch int
-	// sharedReads is true when lock's shared mode genuinely admits
-	// concurrent readers; Get then runs the shared read path. False for
-	// exclusive locks adapted via locks.RWFromMutex, whose Gets keep
-	// the pre-RW exclusive path byte for byte.
+	// sharedReads is true when the shard's reads genuinely admit
+	// concurrency — lock's shared mode does (rwexec nil), or the
+	// executor's shared closures do (rwexec set); Get then runs the
+	// shared read path. False for exclusive locks adapted via
+	// locks.RWFromMutex and for exclusive-only executors, whose Gets
+	// keep the pre-RW exclusive path byte for byte.
 	sharedReads bool
 	touchEvery  uint64
 	mask        uint64
@@ -138,12 +149,20 @@ type Shard struct {
 
 func newShard(cfg shardConfig) *Shard {
 	sharedReads := false
+	var rwexec locks.RWExecutor
 	if cfg.exec == nil {
 		sharedReads = locks.SharesReads(cfg.lock)
+	} else if rx, ok := cfg.exec.(locks.RWExecutor); ok && locks.SharesExecReads(rx) {
+		// The executor seam has a genuinely shared read mode: route the
+		// shared read paths through ExecShared so same-cluster readers
+		// fold into one shared acquisition under the reader-combiner.
+		rwexec = rx
+		sharedReads = true
 	}
 	s := &Shard{
 		lock:        cfg.lock,
 		exec:        cfg.exec,
+		rwexec:      rwexec,
 		maxBatch:    cfg.maxBatch,
 		sharedReads: sharedReads,
 		touchEvery:  cfg.touchEvery,
@@ -278,12 +297,7 @@ func (s *Shard) Get(p *numa.Proc, key uint64, dst []byte) (int, bool) {
 		return s.getExclusive(p, key, dst)
 	}
 	slot := &s.slots[p.ID()]
-	s.lock.RLock(p)
-	// The hash-bucket walk and value copy only read item state; writers
-	// (Set/Delete and the LRU bump below) hold exclusive mode, so no
-	// mutation can overlap shared mode.
-	n, hit := s.readValue(key, dst)
-	s.lock.RUnlock(p)
+	n, hit := s.getSharedCS(p, key, dst)
 	slot.gets++
 	if !hit {
 		slot.misses++
@@ -295,11 +309,34 @@ func (s *Shard) Get(p *numa.Proc, key uint64, dst []byte) (int, bool) {
 		slot.sinceTouch = 0
 		// Re-find under exclusive mode: the item may have been evicted
 		// or deleted between the shared read and this upgrade.
-		s.lock.Lock(p)
-		s.touchKey(p, key)
-		s.lock.Unlock(p)
+		if s.rwexec != nil {
+			s.exec.Exec(p, func() { s.touchKey(p, key) })
+		} else {
+			s.lock.Lock(p)
+			s.touchKey(p, key)
+			s.lock.Unlock(p)
+		}
 	}
 	return n, true
+}
+
+// getSharedCS runs one get's shared-mode section under the shard's
+// read seam. The hash-bucket walk and value copy only read item state;
+// writers (Set/Delete and Get's deferred LRU bump) hold exclusive
+// mode, so no mutation can overlap shared mode. Like getExclusiveCS,
+// the closure-posting branch keeps its captured results local so the
+// plain-lock path stays allocation-free.
+func (s *Shard) getSharedCS(p *numa.Proc, key uint64, dst []byte) (int, bool) {
+	if s.rwexec != nil {
+		var n int
+		var hit bool
+		s.rwexec.ExecShared(p, func() { n, hit = s.readValue(key, dst) })
+		return n, hit
+	}
+	s.lock.RLock(p)
+	n, hit := s.readValue(key, dst)
+	s.lock.RUnlock(p)
+	return n, hit
 }
 
 // readValue looks up key and copies its value into dst — the layout
@@ -676,10 +713,11 @@ func (s *Shard) runBatch(p *numa.Proc, fn func()) {
 // mget answers the group's lookups (idx indexes keys) in critical
 // sections of at most maxBatch operations each. dsts may be nil to
 // probe without copying; lens and found are written at the same
-// indices as keys. Shards whose lock genuinely shares reads route
-// through mgetShared — whole chunks answered under one shared
-// acquisition — while exclusive and executor-seam shards keep this
-// exclusive path unchanged.
+// indices as keys. Shards whose reads genuinely share — a reader-
+// writer shard lock, or a read-combining executor seam — route
+// through mgetShared, whole chunks answered under one shared
+// acquisition (or one posted shared closure); exclusive-lock and
+// exclusive-executor shards keep this exclusive path unchanged.
 func (s *Shard) mget(p *numa.Proc, keys []uint64, dsts [][]byte, lens []int, found []bool, idx []int) {
 	if s.sharedReads {
 		s.mgetShared(p, keys, dsts, lens, found, idx)
@@ -712,29 +750,46 @@ func (s *Shard) mget(p *numa.Proc, keys []uint64, dsts [][]byte, lens []int, fou
 // protocol with the batch APIs: each chunk of up to maxBatch lookups
 // runs under ONE shared acquisition — concurrent readers' chunks on
 // different clusters proceed together, and a group of N lookups costs
-// ceil(N/maxBatch) RLock acquisitions. Per-key semantics match the
-// shared-mode Get: the hash walk and value copy only read item state
-// (writers hold exclusive mode, so nothing mutates under the chunk),
-// and the LRU bump follows the same touch-every-Nth-hit sampling —
-// sampled keys accumulate across the group and are refreshed in one
-// deferred exclusive section at the end, so recency maintenance costs
-// at most one extra acquisition per group instead of one per sampled
-// hit. Statistics stay per-proc, outside the lock, counted once per
-// operation exactly as the exclusive path counts them.
+// ceil(N/maxBatch) RLock acquisitions. On the read-combining executor
+// seam each chunk is instead a posted shared closure: concurrent
+// same-cluster readers' chunks are harvested by one reader-combiner
+// and run under a single RLock, pushing shared acquisitions per read
+// op below even the ceil(N/maxBatch) floor. Per-key semantics match
+// the shared-mode Get: the hash walk and value copy only read item
+// state (writers hold exclusive mode, so nothing mutates under the
+// chunk), and the LRU bump follows the same touch-every-Nth-hit
+// sampling — sampled keys accumulate across the group and are
+// refreshed in one deferred exclusive section at the end, so recency
+// maintenance costs at most one extra acquisition per group instead of
+// one per sampled hit. Statistics stay per-proc, outside the lock,
+// counted once per operation exactly as the exclusive path counts
+// them.
 func (s *Shard) mgetShared(p *numa.Proc, keys []uint64, dsts [][]byte, lens []int, found []bool, idx []int) {
 	slot := &s.slots[p.ID()]
 	var touch []uint64 // keys sampled for a deferred LRU refresh
 	for start := 0; start < len(idx); start += s.maxBatch {
 		chunk := idx[start:min(start+s.maxBatch, len(idx))]
-		s.lock.RLock(p)
-		for _, i := range chunk {
-			var dst []byte
-			if dsts != nil {
-				dst = dsts[i]
+		if s.rwexec != nil {
+			s.rwexec.ExecShared(p, func() {
+				for _, i := range chunk {
+					var dst []byte
+					if dsts != nil {
+						dst = dsts[i]
+					}
+					lens[i], found[i] = s.readValue(keys[i], dst)
+				}
+			})
+		} else {
+			s.lock.RLock(p)
+			for _, i := range chunk {
+				var dst []byte
+				if dsts != nil {
+					dst = dsts[i]
+				}
+				lens[i], found[i] = s.readValue(keys[i], dst)
 			}
-			lens[i], found[i] = s.readValue(keys[i], dst)
+			s.lock.RUnlock(p)
 		}
-		s.lock.RUnlock(p)
 		for _, i := range chunk {
 			slot.gets++
 			if found[i] {
@@ -752,11 +807,19 @@ func (s *Shard) mgetShared(p *numa.Proc, keys []uint64, dsts [][]byte, lens []in
 	if len(touch) > 0 {
 		// Re-find under exclusive mode: an item may have been evicted
 		// or deleted between the shared chunk and this upgrade.
-		s.lock.Lock(p)
-		for _, k := range touch {
-			s.touchKey(p, k)
+		if s.rwexec != nil {
+			s.exec.Exec(p, func() {
+				for _, k := range touch {
+					s.touchKey(p, k)
+				}
+			})
+		} else {
+			s.lock.Lock(p)
+			for _, k := range touch {
+				s.touchKey(p, k)
+			}
+			s.lock.Unlock(p)
 		}
-		s.lock.Unlock(p)
 	}
 }
 

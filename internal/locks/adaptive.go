@@ -206,10 +206,35 @@ func (c *CombiningAdaptive) combine(p *numa.Proc) {
 			ran++
 		}
 	}
+	// Rescue sweep for clusters with no elected combiner, exactly as
+	// in Combining.combine: harvesting is serialized by m, so remote
+	// slots are as safe to scan as local ones, and the sweep keeps
+	// orphaned clusters live when spinning workers outnumber
+	// GOMAXPROCS and a cluster's members never win an election.
+	for rc := range c.members {
+		if rc == cl || c.gates[rc].held.Load() != 0 {
+			continue
+		}
+		for _, id := range c.members[rc] {
+			s := &c.slots[id]
+			if s.state.Load() != combPosted {
+				continue
+			}
+			fn := s.fn
+			s.fn = nil
+			fn()
+			s.state.Store(combDone)
+			s.parker.Wake()
+			ran++
+		}
+	}
 	c.m.Unlock(p)
 	c.batches.Add(1)
 	c.ops.Add(ran)
 	c.active.Add(-1)
+	// Hand the processor around at batch boundaries when oversubscribed,
+	// as Combining.combine does.
+	spin.Yield()
 }
 
 // Ops reports the number of closures executed so far; read it while

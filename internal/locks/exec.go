@@ -224,10 +224,43 @@ func (c *Combining) combine(p *numa.Proc) {
 			ran++
 		}
 	}
+	// Rescue sweep: serve posters on clusters that have no combiner of
+	// their own. Cluster-local batching is a locality preference, not a
+	// correctness boundary — every harvest runs under m, so scanning a
+	// remote cluster's slots is exactly as safe as scanning ours. The
+	// sweep matters for liveness when spinning workers outnumber
+	// GOMAXPROCS: a cluster whose members are all starved of processor
+	// time may never win an election, and without it their posted
+	// closures would wait unboundedly while other clusters' combiners
+	// cycle the lock. Clusters with an elected combiner are skipped —
+	// that combiner is already queued on m and will serve them with
+	// full locality next.
+	for rc := range c.members {
+		if rc == p.Cluster() || c.gates[rc].held.Load() != 0 {
+			continue
+		}
+		for _, id := range c.members[rc] {
+			s := &c.slots[id]
+			if s.state.Load() != combPosted {
+				continue
+			}
+			fn := s.fn
+			s.fn = nil
+			fn()
+			s.state.Store(combDone)
+			s.parker.Wake()
+			ran++
+		}
+	}
 	c.m.Unlock(p)
 	c.batches.Add(1)
 	c.ops.Add(ran)
 	c.active.Add(-1)
+	// A combiner never blocks — it serves a batch and immediately cycles
+	// into its next request — so on an oversubscribed machine it must
+	// hand the processor around at batch boundaries or the posters it
+	// just woke wait a full preemption quantum to consume their results.
+	spin.Yield()
 }
 
 // Ops reports the number of closures executed so far; read it while

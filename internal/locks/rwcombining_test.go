@@ -1,0 +1,188 @@
+package locks_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/locks"
+	"repro/internal/locktest"
+	"repro/internal/numa"
+)
+
+func TestRWCombiningOverRWPerCluster(t *testing.T) {
+	topo := numa.New(2, 16)
+	x := locks.NewRWCombining(topo, locks.NewRWPerCluster(topo, locks.NewMCS(topo)))
+	locktest.CheckRWExec(t, topo, x, 8, 4, 200)
+}
+
+func TestRWCombiningAdaptiveOverRWPerCluster(t *testing.T) {
+	topo := numa.New(2, 16)
+	x := locks.NewRWCombiningAdaptive(topo, locks.NewRWPerCluster(topo, locks.NewMCS(topo)))
+	locktest.CheckRWExec(t, topo, x, 8, 4, 200)
+}
+
+func TestRWCombiningOverExclusiveAdapter(t *testing.T) {
+	// Over an RWFromMutex-adapted exclusive lock the harvested "shared"
+	// batches serialize; the construction must still be a correct
+	// RWExecutor (the harness skips the coexistence phase) and must
+	// pass the adapter's non-sharing property through.
+	topo := numa.New(2, 16)
+	x := locks.NewRWCombining(topo, locks.RWFromMutex(locks.NewMCS(topo)))
+	if locks.SharesExecReads(x) {
+		t.Fatal("RWCombining over RWFromMutex claims shared reads")
+	}
+	locktest.CheckRWExec(t, topo, x, 8, 4, 200)
+}
+
+func TestRWCombiningIntrospection(t *testing.T) {
+	topo := numa.New(2, 4)
+	rw := func() locks.RWMutex { return locks.NewRWPerCluster(topo, locks.NewMCS(topo)) }
+	if x := locks.NewRWCombining(topo, rw()); !locks.Combines(x) {
+		t.Error("RWCombining does not claim to combine")
+	}
+	if x := locks.NewRWCombining(topo, rw()); !locks.SharesExecReads(x) {
+		t.Error("RWCombining over a genuine RW lock does not claim shared reads")
+	}
+	if x := locks.NewRWCombiningAdaptive(topo, rw()); !locks.Combines(x) || !locks.SharesExecReads(x) {
+		t.Error("RWCombiningAdaptive drops an introspection property")
+	}
+	if x := locks.ExecFromRWMutex(rw()); locks.Combines(x) {
+		t.Error("ExecFromRWMutex adapter claims to combine")
+	}
+}
+
+func TestRWCombiningSingleProcBypass(t *testing.T) {
+	// The uncontended fast path: with no same-cluster peer in flight,
+	// every shared closure takes the single-closure bypass — exactly
+	// one RLock per op, so the two shared counters stay in lockstep and
+	// the exclusive side never fires.
+	topo := numa.New(2, 4)
+	var excl, shared atomic.Uint64
+	inner := locks.CountRWAcquisitions(locks.NewRWPerCluster(topo, locks.NewMCS(topo)), &excl, &shared)
+	x := locks.NewRWCombining(topo, inner)
+	p := topo.Proc(0)
+	n := 0
+	for i := 0; i < 100; i++ {
+		x.ExecShared(p, func() { n++ })
+	}
+	if n != 100 {
+		t.Fatalf("ran %d closures, want 100", n)
+	}
+	if ops, b := x.SharedOps(), x.SharedBatches(); ops != 100 || b != 100 {
+		t.Fatalf("SharedOps() = %d, SharedBatches() = %d, want 100 and 100 (bypass every op)", ops, b)
+	}
+	if got := shared.Load(); got != 100 {
+		t.Fatalf("inner lock saw %d RLock acquisitions, want 100", got)
+	}
+	if got := excl.Load(); got != 0 {
+		t.Fatalf("inner lock saw %d exclusive acquisitions, want 0", got)
+	}
+}
+
+func TestRWCombiningExclusiveSideIndependent(t *testing.T) {
+	// One construction serves both modes: exclusive closures go through
+	// the embedded combining executor and advance Ops/Batches only,
+	// shared closures advance SharedOps/SharedBatches only.
+	topo := numa.New(2, 4)
+	x := locks.NewRWCombining(topo, locks.NewRWPerCluster(topo, locks.NewMCS(topo)))
+	p := topo.Proc(0)
+	n := 0
+	for i := 0; i < 50; i++ {
+		x.Exec(p, func() { n++ })
+		x.ExecShared(p, func() { n++ })
+	}
+	if n != 100 {
+		t.Fatalf("ran %d closures, want 100", n)
+	}
+	if ops := x.Ops(); ops != 50 {
+		t.Fatalf("Ops() = %d, want 50 (exclusive closures only)", ops)
+	}
+	if ops := x.SharedOps(); ops != 50 {
+		t.Fatalf("SharedOps() = %d, want 50 (shared closures only)", ops)
+	}
+}
+
+// sharedPileUp drives the deterministic read-side amortization
+// scenario: the inner lock is held exclusively (from outside the
+// executor), so the first shared poster bypasses into a blocked RLock
+// and one elected reader-combiner blocks inside its single shared
+// acquisition while every other same-cluster poster publishes.
+// Releasing the writer must drain the whole pile in far fewer shared
+// acquisitions than ops.
+func sharedPileUp(t *testing.T, build func(topo *numa.Topology, l locks.RWMutex) locks.RWExecutor) {
+	t.Helper()
+	topo := numa.New(2, 16)
+	inner := locks.NewRWPerCluster(topo, locks.NewMCS(topo))
+	var excl, shared atomic.Uint64
+	x := build(topo, locks.CountRWAcquisitions(inner, &excl, &shared))
+
+	holder := topo.Proc(15)
+	inner.Lock(holder)
+
+	// Eight workers, all on cluster 0 (even proc ids).
+	const workers = 8
+	ran := make([]int, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := topo.Proc(2 * w)
+			x.ExecShared(p, func() { ran[w]++ })
+		}(i)
+	}
+	// Let every worker publish (the bypasser and the elected combiner
+	// are parked inside RLock against the held writer; the rest spin on
+	// their slots).
+	time.Sleep(50 * time.Millisecond)
+	inner.Unlock(holder)
+	wg.Wait()
+
+	for w, n := range ran {
+		if n != 1 {
+			t.Fatalf("worker %d ran %d times, want 1", w, n)
+		}
+	}
+	sb, so := shared.Load(), uint64(workers)
+	if sb >= workers/2 {
+		t.Fatalf("no read-side amortization: %d shared acquisitions for %d piled-up read ops", sb, workers)
+	}
+	if e := excl.Load(); e != 0 {
+		t.Fatalf("read pile-up took %d exclusive acquisitions, want 0", e)
+	}
+	t.Logf("shared amortization: %d read ops over %d RLock acquisitions", so, sb)
+}
+
+func TestRWCombiningSharedBatchesPileUp(t *testing.T) {
+	sharedPileUp(t, func(topo *numa.Topology, l locks.RWMutex) locks.RWExecutor {
+		return locks.NewRWCombining(topo, l)
+	})
+}
+
+func TestRWCombiningAdaptiveSharedBatchesPileUp(t *testing.T) {
+	sharedPileUp(t, func(topo *numa.Topology, l locks.RWMutex) locks.RWExecutor {
+		return locks.NewRWCombiningAdaptive(topo, l)
+	})
+}
+
+func TestRWCombiningAdaptiveOccupancyCountsReads(t *testing.T) {
+	// The adaptive twin's occupancy estimate must include in-flight
+	// shared requests: a closure that reads the estimate from inside
+	// the executor sees at least itself.
+	topo := numa.New(2, 4)
+	x := locks.NewRWCombiningAdaptive(topo, locks.NewRWPerCluster(topo, locks.NewMCS(topo)))
+	p := topo.Proc(0)
+	seen := 0
+	x.ExecShared(p, func() { seen = x.OccupancyEstimate() })
+	if seen < 1 {
+		t.Fatalf("OccupancyEstimate() = %d from inside a shared closure, want >= 1", seen)
+	}
+	if got := x.OccupancyEstimate(); got != 0 {
+		t.Fatalf("OccupancyEstimate() = %d after drain, want 0", got)
+	}
+	if got := x.Occupancy(0); got != 0 {
+		t.Fatalf("Occupancy(0) = %d after drain, want 0", got)
+	}
+}

@@ -187,6 +187,82 @@ func (x *dropSharedExec) ExecShared(p *numa.Proc, fn func()) {}
 
 func (x *dropSharedExec) SharedReads() bool { return false }
 
+// brokenReadCombiner is a miniature read-side combiner with a seeded
+// defect, shaped like locks.NewRWCombining: readers post closures to a
+// queue, one poster elects itself combiner through a gate and drains
+// the whole batch, and posters spin until their closure is
+// acknowledged. The defect comes in two flavors:
+//
+//   - drop=false: the combiner runs every harvested read under the
+//     EXCLUSIVE mutex while still claiming genuine sharing — shared
+//     closures serialize, so the coexistence rendezvous must wedge.
+//   - drop=true: the combiner acknowledges every second harvested
+//     closure without running it — lost shared ops. (It reports
+//     SharedReads false so the rendezvous phase, whose closures it
+//     would also drop, is skipped and the failure is attributed to
+//     the loss.)
+type brokenReadCombiner struct {
+	drop   bool
+	mu     sync.Mutex // exclusive domain
+	gate   sync.Mutex // combiner election
+	qmu    sync.Mutex
+	q      []postedRead
+	parity int
+}
+
+type postedRead struct {
+	fn   func()
+	done chan struct{}
+}
+
+func (x *brokenReadCombiner) Exec(p *numa.Proc, fn func()) {
+	x.mu.Lock()
+	fn()
+	x.mu.Unlock()
+}
+
+func (x *brokenReadCombiner) ExecShared(p *numa.Proc, fn func()) {
+	done := make(chan struct{})
+	x.qmu.Lock()
+	x.q = append(x.q, postedRead{fn, done})
+	x.qmu.Unlock()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if x.gate.TryLock() {
+			x.combine()
+			x.gate.Unlock()
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (x *brokenReadCombiner) combine() {
+	x.qmu.Lock()
+	batch := x.q
+	x.q = nil
+	x.qmu.Unlock()
+	x.mu.Lock() // the harvest defect: reads run under exclusive mode
+	for _, pr := range batch {
+		if x.drop {
+			x.parity++
+			if x.parity%2 == 0 {
+				close(pr.done) // acknowledged, never run: a lost op
+				continue
+			}
+		}
+		pr.fn()
+		close(pr.done)
+	}
+	x.mu.Unlock()
+}
+
+func (x *brokenReadCombiner) SharedReads() bool { return !x.drop }
+
 // tornRW takes writers through a real mutex but lets readers straight
 // through: writer exclusion holds, snapshots tear.
 type tornRW struct {
@@ -324,6 +400,31 @@ func TestCheckRWExecCatchesLostSharedOps(t *testing.T) {
 	}
 }
 
+func TestCheckRWExecCatchesExclusiveHarvest(t *testing.T) {
+	// A read-combiner that runs its harvested read closures under the
+	// exclusive lock serializes shared mode while claiming to share it:
+	// the coexistence rendezvous must wedge on the deadline.
+	withDeadline(300*time.Millisecond, func() {
+		msg := expectFailure(t, "CheckRWExec/exclusive-harvest", func(tb TB) {
+			CheckRWExec(tb, testTopo(), &brokenReadCombiner{}, 4, 2, 10)
+		})
+		if !strings.Contains(msg, "could not run together") && !strings.Contains(msg, "rendezvous") {
+			t.Errorf("unexpected failure message: %q", msg)
+		}
+	})
+}
+
+func TestCheckRWExecCatchesDroppedHarvestedClosure(t *testing.T) {
+	// A read-combiner that acknowledges a posted read closure without
+	// running it must show up as lost ops.
+	msg := expectFailure(t, "CheckRWExec/drop-harvested", func(tb TB) {
+		CheckRWExec(tb, testTopo(), &brokenReadCombiner{drop: true}, 4, 2, 50)
+	})
+	if !strings.Contains(msg, "lost") {
+		t.Errorf("unexpected failure message: %q", msg)
+	}
+}
+
 func TestHarnessesPassCorrectImplementations(t *testing.T) {
 	// Positive control: the same harnesses must accept known-good
 	// implementations, or the failure tests above prove nothing.
@@ -336,4 +437,6 @@ func TestHarnessesPassCorrectImplementations(t *testing.T) {
 	CheckExec(t, topo, locks.NewCombiningAdaptive(topo, locks.NewMCS(topo)), 8, 100)
 	CheckRWExec(t, topo, locks.ExecFromRWMutex(locks.NewRWPerCluster(topo, locks.NewMCS(topo))), 4, 2, 100)
 	CheckRWExec(t, topo, locks.ExecFromRWMutex(locks.RWFromMutex(locks.NewMCS(topo))), 4, 2, 100)
+	CheckRWExec(t, topo, locks.NewRWCombining(topo, locks.NewRWPerCluster(topo, locks.NewMCS(topo))), 4, 2, 100)
+	CheckRWExec(t, topo, locks.NewRWCombiningAdaptive(topo, locks.NewRWPerCluster(topo, locks.NewMCS(topo))), 4, 2, 100)
 }

@@ -40,6 +40,18 @@ type Entry struct {
 	// construction (fixed or adaptive) the entry names. Nil on primary
 	// entries.
 	WrapExec func(topo *numa.Topology, m locks.Mutex) locks.Executor
+	// NewRWExec builds a genuinely combining reader-writer executor
+	// (same-cluster shared closures harvested under one RLock per
+	// batch, exclusive closures under one Lock); set only on the comb-*
+	// twins derived from native RW entries. Entries without it still
+	// adapt through RWExecFactory.
+	NewRWExec func(topo *numa.Topology) locks.RWExecutor
+	// WrapRWExec is NewRWExec with the base lock factored out:
+	// WrapRWExec(topo, l) builds the same combining RWExecutor over the
+	// caller's l, so tools can interpose measurement — a
+	// CountRWAcquisitions wrapper — between the reader-combiner and the
+	// underlying lock. Nil wherever NewRWExec is nil.
+	WrapRWExec func(topo *numa.Topology, l locks.RWMutex) locks.RWExecutor
 	// Base names the entry a derived construction wraps ("" for primary
 	// entries); tools use it to build the underlying lock a WrapExec
 	// interposition needs.
@@ -170,6 +182,16 @@ var entries = []Entry{
 // the caller) and point back at their base entry, with WrapExec
 // exposing the construction itself, for tools that interpose on the
 // underlying lock.
+//
+// Bases with a native RW construction derive the reader-writer twin
+// instead: comb-rw-* entries are RWCombining executors whose exclusive
+// closures batch exactly as comb-* does, and whose shared closures are
+// harvested per cluster under ONE RLock per batch (NewRWExec and
+// WrapRWExec expose the shared-aware construction; NewExec returns the
+// same executor so exec-shaped consumers get the RW one and can detect
+// it). WrapExec stays mutex-shaped for those entries — combining over
+// the caller's exclusive lock — so acquisition-counting tools keep one
+// interposition seam across the whole comb-* family.
 func init() {
 	base := make([]Entry, len(entries))
 	copy(base, entries)
@@ -178,7 +200,7 @@ func init() {
 			continue
 		}
 		newMutex := e.NewMutex
-		entries = append(entries, Entry{
+		comb := Entry{
 			Name:      "comb-" + e.Name,
 			Desc:      "combining executor over " + e.Name + ": delegated same-cluster batches, one acquisition per batch",
 			Base:      e.Name,
@@ -189,7 +211,8 @@ func init() {
 			NewExec: func(t *numa.Topology) locks.Executor {
 				return locks.NewCombining(t, newMutex(t))
 			},
-		}, Entry{
+		}
+		combA := Entry{
 			Name:      "comb-a-" + e.Name,
 			Desc:      "adaptive combining executor over " + e.Name + ": occupancy-scaled patience and harvest passes",
 			Base:      e.Name,
@@ -200,7 +223,31 @@ func init() {
 			NewExec: func(t *numa.Topology) locks.Executor {
 				return locks.NewCombiningAdaptive(t, newMutex(t))
 			},
-		})
+		}
+		if e.NewRW != nil {
+			newRW := e.NewRW
+			comb.Desc = "combining reader-writer executor over " + e.Name + ": batched exclusive closures, same-cluster reads harvested under one RLock"
+			comb.NewRWExec = func(t *numa.Topology) locks.RWExecutor {
+				return locks.NewRWCombining(t, newRW(t))
+			}
+			comb.WrapRWExec = func(t *numa.Topology, l locks.RWMutex) locks.RWExecutor {
+				return locks.NewRWCombining(t, l)
+			}
+			comb.NewExec = func(t *numa.Topology) locks.Executor {
+				return locks.NewRWCombining(t, newRW(t))
+			}
+			combA.Desc = "adaptive combining reader-writer executor over " + e.Name + ": occupancy-scaled patience and passes on both modes"
+			combA.NewRWExec = func(t *numa.Topology) locks.RWExecutor {
+				return locks.NewRWCombiningAdaptive(t, newRW(t))
+			}
+			combA.WrapRWExec = func(t *numa.Topology, l locks.RWMutex) locks.RWExecutor {
+				return locks.NewRWCombiningAdaptive(t, l)
+			}
+			combA.NewExec = func(t *numa.Topology) locks.Executor {
+				return locks.NewRWCombiningAdaptive(t, newRW(t))
+			}
+		}
+		entries = append(entries, comb, combA)
 	}
 }
 
@@ -261,11 +308,16 @@ func (e Entry) ExecFactory(topo *numa.Topology) func() locks.Executor {
 
 // RWExecFactory returns a factory building independent shared-mode
 // executors of this lock for topo (locks.RWExecutor: exclusive plus
-// shared closures), or nil if the entry cannot lock at all. Entries
-// with a native RW construction yield executors whose shared closures
-// genuinely coexist; exclusive-only entries serialize them
-// (locks.SharesExecReads reports which case was built).
+// shared closures), or nil if the entry cannot lock at all. comb-rw-*
+// entries yield genuinely combining RW executors (NewRWExec); entries
+// with a native RW construction yield one-acquisition-per-closure
+// executors whose shared closures genuinely coexist; exclusive-only
+// entries serialize them (locks.SharesExecReads reports sharing,
+// locks.Combines reports batching).
 func (e Entry) RWExecFactory(topo *numa.Topology) func() locks.RWExecutor {
+	if e.NewRWExec != nil {
+		return func() locks.RWExecutor { return e.NewRWExec(topo) }
+	}
 	f := e.RWFactory(topo)
 	if f == nil {
 		return nil
@@ -462,6 +514,29 @@ func Combining() []Entry {
 func CombiningNames() []string {
 	var out []string
 	for _, e := range Combining() {
+		out = append(out, e.Name)
+	}
+	return out
+}
+
+// RWCombining returns the derived comb-rw-*/comb-a-rw-* entries
+// (genuinely combining reader-writer executors), in order.
+func RWCombining() []Entry {
+	var out []Entry
+	for _, e := range entries {
+		if e.NewRWExec != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RWCombiningNames lists the comb-rw-*/comb-a-rw-* entry names, in
+// presentation order — the read-combining column set of kvbench's
+// read-path table.
+func RWCombiningNames() []string {
+	var out []string
+	for _, e := range RWCombining() {
 		out = append(out, e.Name)
 	}
 	return out

@@ -58,6 +58,12 @@ func TestCombiningEntriesDerived(t *testing.T) {
 			if comb.NewMutex != nil || comb.NewTry != nil || comb.NewRW != nil {
 				t.Errorf("%s%s: derived entries are exec-only", prefix, e.Name)
 			}
+			// Native RW bases derive the reader-writer twin: the shared
+			// side (NewRWExec + the WrapRWExec interposition seam) must
+			// be present exactly there.
+			if rw := e.NewRW != nil; (comb.NewRWExec != nil) != rw || (comb.WrapRWExec != nil) != rw {
+				t.Errorf("%s%s: NewRWExec/WrapRWExec presence should match the base's NewRW (%v)", prefix, e.Name, rw)
+			}
 		}
 	}
 	// The two derivations differ in policy: comb-a-* executors expose
@@ -68,6 +74,20 @@ func TestCombiningEntriesDerived(t *testing.T) {
 	}
 	if _, ok := locks.EstimateOccupancy(byName["comb-mcs"].NewExec(topo)); ok {
 		t.Error("comb-mcs executor claims an occupancy estimate")
+	}
+	// The RW twins carry both policies too, and their NewExec returns
+	// the same shared-aware executor NewRWExec does, so exec-shaped
+	// consumers (the kvstore seam) can detect the shared mode.
+	if _, ok := locks.EstimateOccupancy(byName["comb-a-rw-mcs"].NewExec(topo)); !ok {
+		t.Error("comb-a-rw-mcs executor has no occupancy estimate")
+	}
+	if x, ok := byName["comb-rw-mcs"].NewExec(topo).(locks.RWExecutor); !ok {
+		t.Error("comb-rw-mcs NewExec does not build an RWExecutor")
+	} else if !locks.SharesExecReads(x) {
+		t.Error("comb-rw-mcs executor does not claim shared reads")
+	}
+	if names := RWCombiningNames(); len(names) != 2*len(RW()) {
+		t.Errorf("RWCombiningNames lists %d entries, want %d (two twins per native RW base)", len(names), 2*len(RW()))
 	}
 	for _, e := range Combining() {
 		base, ok := byName[e.Base]

@@ -117,22 +117,28 @@ func TestExecFactoryAdaptsMutexEntries(t *testing.T) {
 }
 
 // TestEveryRWExecFactoryPassesLocktest round-trips every lockable
-// entry's shared-mode executor (RWExecFactory: ExecFromRWMutex over
-// the entry's RW face) through locktest.CheckRWExec: concurrent
-// shared batches coexist where sharing is genuine, exclusive closures
-// exclude them, no lost or double-run ops — automatically for any
-// future registration.
+// entry's shared-mode executor (RWExecFactory: the combining
+// RWCombining construction for comb-rw-* entries, ExecFromRWMutex over
+// the entry's RW face otherwise) through locktest.CheckRWExec:
+// concurrent shared batches coexist where sharing is genuine,
+// exclusive closures exclude them, no lost or double-run ops —
+// automatically for any future registration.
 func TestEveryRWExecFactoryPassesLocktest(t *testing.T) {
 	for _, e := range All() {
-		if e.NewRW == nil && e.NewMutex == nil {
+		if e.NewRW == nil && e.NewMutex == nil && e.NewRWExec == nil {
 			continue
 		}
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
 			topo := numa.New(2, 8)
 			x := e.RWExecFactory(topo)()
-			if got, want := locks.SharesExecReads(x), e.NewRW != nil; got != want {
-				t.Fatalf("SharesExecReads = %v, want %v (NewRW %v)", got, want, e.NewRW != nil)
+			want := e.NewRW != nil || e.NewRWExec != nil
+			if got := locks.SharesExecReads(x); got != want {
+				t.Fatalf("SharesExecReads = %v, want %v (NewRW %v, NewRWExec %v)",
+					got, want, e.NewRW != nil, e.NewRWExec != nil)
+			}
+			if got, want := locks.Combines(x), e.NewRWExec != nil; got != want {
+				t.Fatalf("Combines = %v, want %v (NewRWExec %v)", got, want, e.NewRWExec != nil)
 			}
 			locktest.CheckRWExec(t, topo, x, 5, 3, 150)
 		})

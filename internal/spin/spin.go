@@ -66,6 +66,20 @@ func AutoOversubscribe(workers int) bool {
 	return prev
 }
 
+// Yield deschedules the caller when workers may outnumber GOMAXPROCS,
+// and is free otherwise. Combiner-style hot paths call it at batch
+// boundaries: a goroutine that serves others' requests and immediately
+// starts its next cycle never blocks, so on an oversubscribed machine
+// it would monopolize its processor and the posters it just served
+// (and those still waiting to post) could starve behind it. One yield
+// per batch hands the processor around at batch frequency instead of
+// the runtime's coarse preemption interval.
+func Yield() {
+	if oversubscribed.Load() {
+		runtime.Gosched()
+	}
+}
+
 // hotSpinIters is the spin-then-yield threshold of Poll when
 // oversubscribed: roughly 5 µs of pure spinning before every iteration
 // yields.

@@ -18,6 +18,14 @@
 // concurrency-restriction idea applied at the front door: excess
 // clients wait in the listen backlog, not in the lock queue).
 //
+// -adaptive-admission makes that cap track the sampled occupancy with
+// hysteresis: sustained overload past -busy-threshold halves the
+// effective cap, acute overload at twice the threshold sheds flushes
+// with "SERVER_ERROR busy" and escalates per-op deadlines against
+// stalled clients, and sustained clearance restores the cap one step
+// at a time (DESIGN.md §8). The stats verb exposes the cap, its
+// low-water mark, and the shed/eviction counters on the wire.
+//
 // SIGINT/SIGTERM drains gracefully: stop accepting, let every
 // connection answer the requests it has already read, flush in-flight
 // batches, then close. -drain-timeout bounds the wait; connections
@@ -60,6 +68,8 @@ func main() {
 		readTOFlag   = flag.Duration("read-timeout", 0, "per-request read deadline (default 2m)")
 		writeTOFlag  = flag.Duration("write-timeout", 0, "per-flush write deadline (default 30s)")
 		drainFlag    = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound before force-closing connections")
+		adaptiveFlag = flag.Bool("adaptive-admission", false, "track the per-cluster admission cap against sampled combining occupancy, shedding ops under acute overload (needs a comb-a-* -lock)")
+		busyFlag     = flag.Int("busy-threshold", 0, "sampled per-shard occupancy counted as overload (default: half the proc count, minimum 2)")
 	)
 	flag.Parse()
 	const tool = "kvserver"
@@ -102,16 +112,21 @@ func main() {
 		IndexMemory: indexMem,
 	})
 	srv, err := server.New(server.Config{
-		Topo:            topo,
-		Store:           store,
-		ConnsPerCluster: *connsFlag,
-		MaxBatch:        *maxbatchFlag,
-		MaxValueBytes:   *maxvalFlag,
-		ReadTimeout:     *readTOFlag,
-		WriteTimeout:    *writeTOFlag,
+		Topo:              topo,
+		Store:             store,
+		ConnsPerCluster:   *connsFlag,
+		MaxBatch:          *maxbatchFlag,
+		MaxValueBytes:     *maxvalFlag,
+		ReadTimeout:       *readTOFlag,
+		WriteTimeout:      *writeTOFlag,
+		AdaptiveAdmission: *adaptiveFlag,
+		BusyThreshold:     *busyFlag,
 	})
 	if err != nil {
 		cli.Die(tool, err)
+	}
+	if *adaptiveFlag && !srv.OccupancyTracked() {
+		fmt.Fprintf(os.Stderr, "kvserver: warning: -adaptive-admission is inert under -lock %s — no occupancy estimator; use an adaptive combining lock (comb-a-*)\n", *lockFlag)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -140,6 +155,8 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "kvserver: served %d connections, %d gets (%d hits), %d sets, %d deletes, %d flushes, %d bad requests, peak occupancy %s\n",
 		st.Accepted, st.Gets, st.Hits, st.Sets, st.Deletes, st.Flushes, st.BadRequests, occ)
+	fmt.Fprintf(os.Stderr, "kvserver: resilience: %d shedded ops, %d evicted conns, %d client-gone, admission cap %d/%d (low-water %d)\n",
+		st.SheddedOps, st.EvictedConns, st.ClientGone, st.AdmissionCap, st.AdmissionCapFull, st.AdmissionCapLow)
 
 	if serveErr != nil {
 		fmt.Fprintf(os.Stderr, "kvserver: %v\n", serveErr)

@@ -1,33 +1,50 @@
 // Command kvsoak drives a kvserver (or any memcached text server)
 // over a real TCP socket: a sustained mixed get/set load at a target
 // rate and concurrency, reporting achieved ops/sec and error counts.
+// The engine is internal/soak; this command is flags, JSON, and the
+// client-side GC bracket.
 //
 // Every connection owns a disjoint key slice and pipelines -pipeline
 // operations per socket write, so the soak exercises exactly the
-// server's batched decode path. Because ops within a connection are
-// ordered, each worker verifies get responses against the last value
-// it wrote to that key: a wrong payload counts as an error (and fails
-// the run), a miss is legal (the server's LRU may evict under
-// pressure). Connections cut mid-burst — a draining server's goodbye —
-// count their unanswered operations as dropped, not as errors.
+// server's batched decode path. Each worker verifies get responses
+// against its own issue history: a payload that was never issued, or
+// one OLDER than a set the server acknowledged, fails the run (the
+// latter is a lost acked write — the violation no drain, shed, or
+// fault may cause). Misses stay legal: the server's LRU may evict.
 //
-// -json emits the result record, including the client's own collector
-// pressure (allocs per op, GC pause total and cycle count, MemStats
-// bracketed around the soak window) and an optional -indexmem label
-// naming the server's shard-metadata backend, so soak artifacts next
-// to kvbench's carry the same memory-pressure shape.
+// Workers survive connection cuts: reconnect with capped exponential
+// backoff plus jitter, retrying only idempotent operations (gets);
+// sets whose ack never arrived are recorded as indeterminate and never
+// double-counted. "SERVER_ERROR busy" answers — the server shedding
+// load — are counted, never treated as corruption.
+//
+// -chaos interposes an internal/faultnet TCP proxy and runs the storm
+// schedule (latency, short reads/writes, mid-frame resets, stalls) for
+// 60% of the duration, then clears the faults for the recovery tail,
+// and finally polls the server's stats verb for its own accounting.
+// With -expect-shed the run additionally fails unless the server's
+// overload defenses demonstrably engaged AND recovered: shedding
+// observed, admission cap shrunk below its configured value and grown
+// back off its low-water mark. -chaos-seed reproduces a fault
+// placement.
+//
+// -json emits the result record: op/verification counts, the new
+// retries / indeterminate_ops / shed_responses / lost_acked_writes
+// fields, injected-fault counters, the server's stats dump, and the
+// client's own collector pressure (allocs per op, GC pause total and
+// cycle count bracketed around the soak window).
 //
 // -check replaces the soak with a scripted byte-exact session (set,
 // get, gets, multi-key pipelined get, delete, version) asserting every
 // response byte; CI uses it as the protocol conformance gate. -check
 // retries the first dial briefly so it can race a just-started server.
 //
-// Exit status: 0 on a clean run, 1 on any verification error, 2 on
-// operational failure (bad flags, cannot connect).
+// Exit status: 0 on a clean run, 1 on any verification error or failed
+// -expect-shed assertion, 2 on operational failure (bad flags, cannot
+// connect).
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,27 +52,12 @@ import (
 	"net"
 	"os"
 	"runtime"
-	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/server"
+	"repro/internal/soak"
 )
-
-type options struct {
-	addr     string
-	conns    int
-	rps      int
-	duration time.Duration
-	mix      int
-	keys     int
-	valSize  int
-	pipeline int
-	indexMem string
-	jsonOut  bool
-}
 
 func main() {
 	var (
@@ -65,9 +67,12 @@ func main() {
 		durationFlag = flag.Duration("duration", 2*time.Second, "soak duration")
 		mixFlag      = flag.Int("mix", 90, "get percentage of the operation mix")
 		keysFlag     = flag.Int("keys", 1000, "distinct keys per connection")
-		valsizeFlag  = flag.Int("valsize", 64, "value size in bytes")
+		valsizeFlag  = flag.Int("valsize", 64, "value size in bytes (minimum 48: payloads embed a verification header)")
 		pipeFlag     = flag.Int("pipeline", 8, "operations pipelined per socket write")
 		checkFlag    = flag.Bool("check", false, "run the scripted byte-exact protocol session instead of the soak")
+		chaosFlag    = flag.Bool("chaos", false, "run the load through a fault-injecting proxy: storm phase then recovery, asserting no acked write is lost")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos fault schedule (reproduces a fault placement)")
+		expectShed   = flag.Bool("expect-shed", false, "with -chaos: fail unless the server's shedding engaged and its admission cap shrank and recovered")
 		indexmemFlag = flag.String("indexmem", "", "shard-metadata backend of the server under test (pointer or compact); labels the -json result")
 		jsonFlag     = flag.Bool("json", false, "emit the result as JSON")
 	)
@@ -83,17 +88,27 @@ func main() {
 		return
 	}
 
-	opt := options{
-		addr:     *addrFlag,
-		conns:    *connsFlag,
-		rps:      *rpsFlag,
-		duration: *durationFlag,
-		mix:      *mixFlag,
-		keys:     *keysFlag,
-		valSize:  *valsizeFlag,
-		pipeline: *pipeFlag,
-		jsonOut:  *jsonFlag,
+	opt := soak.Options{
+		Addr:     *addrFlag,
+		Conns:    *connsFlag,
+		RPS:      *rpsFlag,
+		Duration: *durationFlag,
+		Mix:      *mixFlag,
+		Keys:     *keysFlag,
+		ValSize:  *valsizeFlag,
+		Pipeline: *pipeFlag,
+		Seed:     *chaosSeed,
+		Chaos:    *chaosFlag,
 	}
+	if !*jsonFlag {
+		opt.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "kvsoak: "+format+"\n", args...)
+		}
+	}
+	if *expectShed && !*chaosFlag {
+		cli.Dief(tool, "-expect-shed requires -chaos")
+	}
+	indexMem := ""
 	if *indexmemFlag != "" {
 		// The soak never builds a store itself; the flag validates
 		// through the same parser as the server tools and labels the
@@ -102,50 +117,59 @@ func main() {
 		if err != nil {
 			cli.Die(tool, err)
 		}
-		opt.indexMem = im.String()
+		indexMem = im.String()
 	}
-	for name, v := range map[string]int{
-		"conns": opt.conns, "keys": opt.keys, "valsize": opt.valSize, "pipeline": opt.pipeline,
-	} {
-		if err := cli.Positive(name, v); err != nil {
-			cli.Die(tool, err)
-		}
-	}
-	if opt.mix < 0 || opt.mix > 100 {
-		cli.Dief(tool, "-mix %d outside [0,100]", opt.mix)
-	}
-	if opt.rps < 0 {
-		cli.Dief(tool, "negative -rps %d", opt.rps)
-	}
-	res, err := runSoak(opt)
+
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	res, err := soak.Run(opt)
 	if err != nil {
 		cli.Die(tool, err)
 	}
-	if opt.jsonOut {
-		json.NewEncoder(os.Stdout).Encode(res)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+
+	out := result{
+		Result:      res,
+		GCPauseMs:   float64(msAfter.PauseTotalNs-msBefore.PauseTotalNs) / 1e6,
+		GCCycles:    msAfter.NumGC - msBefore.NumGC,
+		IndexMemory: indexMem,
+	}
+	if res.Ops > 0 {
+		out.AllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.Ops)
+	}
+
+	problems := res.Problems(*expectShed)
+	if *jsonFlag {
+		json.NewEncoder(os.Stdout).Encode(out)
 	} else {
 		fmt.Printf("kvsoak: %d conns %.1fs: %d ops (%d gets, %d hits, %d sets) %.0f ops/s, %d errors, %d dropped\n",
-			opt.conns, res.Seconds, res.Ops, res.Gets, res.Hits, res.Sets, res.OpsPerSec, res.Errors, res.Dropped)
+			opt.Conns, res.Seconds, res.Ops, res.Gets, res.Hits, res.Sets, res.OpsPerSec, res.Errors, res.Dropped)
+		if *chaosFlag {
+			fmt.Printf("kvsoak: chaos: %d resets, %d reconnects, %d retries, %d indeterminate, %d shed responses, %d lost acked writes\n",
+				res.Faults.Resets, res.Reconnects, res.Retries, res.IndeterminateOps, res.ShedResponses, res.LostAckedWrites)
+			if res.Server != nil && res.Server.HasAdmission {
+				fmt.Printf("kvsoak: server: admission cap %d/%d (low-water %d), %d shedded ops, %d evicted conns, %d client-gone\n",
+					res.Server.AdmissionCap, res.Server.AdmissionCapFull, res.Server.AdmissionCapLow,
+					res.Server.SheddedOps, res.Server.EvictedConns, res.Server.ClientGone)
+			}
+		}
 	}
-	if res.Errors > 0 {
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "kvsoak: FAIL: %s\n", p)
+	}
+	if len(problems) > 0 {
 		os.Exit(1)
 	}
 }
 
-// result is the soak's summary, also the -json shape. The collector
-// fields are client-side MemStats brackets around the soak window —
-// the same allocs_per_op / gc_pause_ms shape kvload records — so a
-// socket soak exposes the *client's* GC pressure end to end; the
-// server's sits in its own process and is measured by kvbench.
+// result is the -json shape: the soak engine's record plus the
+// client-side MemStats bracket — the same allocs_per_op / gc_pause_ms
+// shape kvload records — so a socket soak exposes the *client's* GC
+// pressure end to end; the server's sits in its own process and is
+// measured by kvbench.
 type result struct {
-	Ops       uint64  `json:"ops"`
-	Gets      uint64  `json:"gets"`
-	Hits      uint64  `json:"hits"`
-	Sets      uint64  `json:"sets"`
-	Errors    uint64  `json:"errors"`
-	Dropped   uint64  `json:"dropped"`
-	Seconds   float64 `json:"seconds"`
-	OpsPerSec float64 `json:"ops_per_sec"`
+	soak.Result
 	// AllocsPerOp is Go heap allocations per completed operation over
 	// the window; GCPauseMs and GCCycles are the total stop-the-world
 	// pause and collection count the window absorbed.
@@ -157,8 +181,8 @@ type result struct {
 	IndexMemory string `json:"index_memory,omitempty"`
 }
 
-// dial connects with brief retries, so soak and check runs can race a
-// server that is still binding its listener.
+// dial connects with brief retries, so check runs can race a server
+// that is still binding its listener.
 func dial(addr string) (net.Conn, error) {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -170,198 +194,6 @@ func dial(addr string) (net.Conn, error) {
 			return nil, fmt.Errorf("connecting to %s: %w", addr, err)
 		}
 		time.Sleep(50 * time.Millisecond)
-	}
-}
-
-func runSoak(opt options) (result, error) {
-	conns := make([]net.Conn, opt.conns)
-	for i := range conns {
-		c, err := dial(opt.addr)
-		if err != nil {
-			return result{}, err
-		}
-		defer c.Close()
-		conns[i] = c
-	}
-
-	var ops, gets, hits, sets, errs, dropped atomic.Uint64
-	var msBefore runtime.MemStats
-	runtime.ReadMemStats(&msBefore)
-	began := time.Now()
-	stop := began.Add(opt.duration)
-	var wg sync.WaitGroup
-	for w, c := range conns {
-		wg.Add(1)
-		go func(w int, c net.Conn) {
-			defer wg.Done()
-			r := soakWorker(opt, w, c, stop)
-			ops.Add(r.Ops)
-			gets.Add(r.Gets)
-			hits.Add(r.Hits)
-			sets.Add(r.Sets)
-			errs.Add(r.Errors)
-			dropped.Add(r.Dropped)
-		}(w, c)
-	}
-	wg.Wait()
-	elapsed := time.Since(began).Seconds()
-	var msAfter runtime.MemStats
-	runtime.ReadMemStats(&msAfter)
-
-	res := result{
-		Ops: ops.Load(), Gets: gets.Load(), Hits: hits.Load(), Sets: sets.Load(),
-		Errors: errs.Load(), Dropped: dropped.Load(), Seconds: elapsed,
-		GCPauseMs:   float64(msAfter.PauseTotalNs-msBefore.PauseTotalNs) / 1e6,
-		GCCycles:    msAfter.NumGC - msBefore.NumGC,
-		IndexMemory: opt.indexMem,
-	}
-	if res.Ops > 0 {
-		res.AllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.Ops)
-	}
-	if elapsed > 0 {
-		res.OpsPerSec = float64(res.Ops) / elapsed
-	}
-	return res, nil
-}
-
-// value renders the deterministic payload for (worker, key, seq):
-// verification just re-renders and compares.
-func value(buf []byte, w, key int, seq uint64, size int) []byte {
-	buf = buf[:0]
-	buf = append(buf, fmt.Sprintf("w%d-k%d-s%d-", w, key, seq)...)
-	for len(buf) < size {
-		buf = append(buf, 'x')
-	}
-	return buf[:size]
-}
-
-// soakWorker runs one connection's load until the stop time: bursts of
-// pipelined operations, then their responses in order. The op sequence
-// is a cheap deterministic LCG, so runs are reproducible.
-func soakWorker(opt options, w int, c net.Conn, stop time.Time) result {
-	var res result
-	rd := bufio.NewReaderSize(c, 64<<10)
-	seqs := make([]uint64, opt.keys) // last value written per key, 0 = never
-	rng := uint64(w)*2654435761 + 1
-	next := func() uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng >> 33 }
-
-	type op struct {
-		key int
-		get bool
-		seq uint64
-	}
-	burst := make([]op, 0, opt.pipeline)
-	var buf []byte
-	valBuf := make([]byte, 0, opt.valSize)
-	wantBuf := make([]byte, 0, opt.valSize)
-	var seq uint64
-
-	// Pacing: each burst is opt.pipeline ops; at a target per-worker
-	// rate the next burst is due one interval after the previous one.
-	var interval time.Duration
-	if opt.rps > 0 {
-		perWorker := float64(opt.rps) / float64(opt.conns)
-		interval = time.Duration(float64(opt.pipeline) / perWorker * float64(time.Second))
-	}
-	due := time.Now()
-
-	for time.Now().Before(stop) {
-		if interval > 0 {
-			if d := time.Until(due); d > 0 {
-				time.Sleep(d)
-			}
-			due = due.Add(interval)
-		}
-		// Build and send one pipelined burst.
-		burst = burst[:0]
-		buf = buf[:0]
-		for i := 0; i < opt.pipeline; i++ {
-			key := int(next()) % opt.keys
-			if int(next())%100 < opt.mix && seqs[key] > 0 {
-				burst = append(burst, op{key: key, get: true})
-				buf = append(buf, fmt.Sprintf("get w%dk%d\r\n", w, key)...)
-			} else {
-				seq++
-				burst = append(burst, op{key: key, seq: seq})
-				valBuf = value(valBuf, w, key, seq, opt.valSize)
-				buf = append(buf, fmt.Sprintf("set w%dk%d 0 0 %d\r\n", w, key, opt.valSize)...)
-				buf = append(buf, valBuf...)
-				buf = append(buf, "\r\n"...)
-			}
-		}
-		c.SetWriteDeadline(time.Now().Add(5 * time.Second))
-		if _, err := c.Write(buf); err != nil {
-			res.Dropped += uint64(len(burst))
-			return res
-		}
-		// Collect the burst's responses in order. A set is acknowledged
-		// before its seq becomes the key's expected value; an op whose
-		// response never arrives is dropped, not wrong.
-		c.SetReadDeadline(time.Now().Add(5 * time.Second))
-		for i, o := range burst {
-			ok, err := readResponse(rd, opt, w, o.key, seqs, wantBuf, &res)
-			if err != nil {
-				res.Dropped += uint64(len(burst) - i)
-				return res
-			}
-			res.Ops++
-			if o.get {
-				res.Gets++
-				if ok {
-					res.Hits++
-				}
-			} else {
-				res.Sets++
-				seqs[o.key] = o.seq
-			}
-		}
-	}
-	return res
-}
-
-// readResponse consumes one operation's response. For gets, ok reports
-// a hit; a hit's payload must be the value of some set this worker
-// already issued for the key (the connection orders them), else it
-// counts an error.
-func readResponse(rd *bufio.Reader, opt options, w, key int, seqs []uint64, wantBuf []byte, res *result) (ok bool, err error) {
-	line, err := rd.ReadString('\n')
-	if err != nil {
-		return false, err
-	}
-	line = strings.TrimRight(line, "\r\n")
-	switch {
-	case line == "STORED":
-		return true, nil
-	case line == "END": // miss: legal under eviction
-		return false, nil
-	case strings.HasPrefix(line, "VALUE "):
-		var k string
-		var flags, size uint64
-		if _, err := fmt.Sscanf(line, "VALUE %s %d %d", &k, &flags, &size); err != nil || size > uint64(opt.valSize) {
-			res.Errors++
-			return false, fmt.Errorf("bad VALUE line %q", line)
-		}
-		data := make([]byte, size+2)
-		if _, err := io.ReadFull(rd, data); err != nil {
-			return false, err
-		}
-		end, err := rd.ReadString('\n')
-		if err != nil {
-			return false, err
-		}
-		if strings.TrimRight(end, "\r\n") != "END" {
-			res.Errors++
-			return false, fmt.Errorf("missing END after VALUE, got %q", end)
-		}
-		want := value(wantBuf, w, key, seqs[key], opt.valSize)
-		if string(data[:size]) != string(want) {
-			res.Errors++
-			return true, nil
-		}
-		return true, nil
-	default:
-		res.Errors++
-		return false, fmt.Errorf("unexpected response %q", line)
 	}
 }
 
@@ -416,6 +248,13 @@ func runCheck(addr string) error {
 			return err
 		}
 	}
+	// The stats verb must answer STAT lines then END (values vary).
+	if _, err := c.Write([]byte("stats\r\n")); err != nil {
+		return err
+	}
+	if err := readStatsDump(c); err != nil {
+		return err
+	}
 	// quit must answer EOF, not an error line.
 	if _, err := c.Write([]byte("quit\r\n")); err != nil {
 		return err
@@ -425,4 +264,36 @@ func runCheck(addr string) error {
 		return fmt.Errorf("after quit: %d bytes, err %v; want EOF", n, err)
 	}
 	return nil
+}
+
+// readStatsDump consumes one stats response, checking only its shape.
+func readStatsDump(c net.Conn) error {
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	var line []byte
+	lines := 0
+	for {
+		if _, err := c.Read(buf); err != nil {
+			return fmt.Errorf("reading stats dump: %w", err)
+		}
+		if buf[0] != '\n' {
+			line = append(line, buf[0])
+			continue
+		}
+		s := string(line)
+		line = line[:0]
+		if len(s) > 0 && s[len(s)-1] == '\r' {
+			s = s[:len(s)-1]
+		}
+		if s == "END" {
+			if lines == 0 {
+				return fmt.Errorf("stats dump had no STAT lines")
+			}
+			return nil
+		}
+		if len(s) < 5 || s[:5] != "STAT " {
+			return fmt.Errorf("unexpected stats line %q", s)
+		}
+		lines++
+	}
 }

@@ -1,0 +1,391 @@
+// Package faultnet injects deterministic network faults under any
+// net.Conn or net.Listener: added latency, short (partial) reads and
+// writes, mid-frame connection resets, and full read stalls, all on a
+// seedable per-connection schedule.
+//
+// The package exists so the repo can PROVE its failure behavior
+// instead of asserting it — the same discipline locktest applies to
+// lock implementations (feed deliberately broken ones, check the
+// harness objects). It is used two ways:
+//
+//   - in-process: unit tests wrap one side of a net.Pipe (or a real
+//     loopback conn) with Wrap and a hand-written Faults schedule, so a
+//     specific fault — a reset landing between store-return and
+//     response-write, a client freezing with half a frame written —
+//     lands at an exact, reproducible point;
+//   - as a TCP proxy (NewProxy): cmd/kvsoak's -chaos mode drives its
+//     whole load through one, with the Injector's live-swappable
+//     schedule turning faults on for the storm phase and off for the
+//     recovery phase.
+//
+// Determinism: every probabilistic decision draws from a per-connection
+// xorshift stream seeded from Faults.Seed and the connection's admission
+// index, never from time or the global rand. Two runs with the same
+// seed, schedule, and connection order inject the same faults.
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error returned by a wrapped connection when the
+// schedule cuts it: an injected reset, or an operation interrupted by
+// Close. Peers see an ordinary transport error (EOF or a reset),
+// exactly as they would from a real network failure.
+var ErrInjected = errors.New("faultnet: injected connection reset")
+
+// Faults is one connection-fault schedule. The zero value is fully
+// transparent (no faults); each field arms one fault class
+// independently. Probabilities are in [0,1] and evaluated per I/O
+// operation on the connection's deterministic stream.
+type Faults struct {
+	// Seed roots the per-connection random streams. Connections derive
+	// their own stream from Seed and their admission index, so a fixed
+	// Seed reproduces the same fault placement run to run.
+	Seed int64
+
+	// Latency delays each Read and Write by a uniform duration in
+	// [0, Latency). Models a slow or congested path.
+	Latency time.Duration
+
+	// ShortReads is the per-read probability of truncating the
+	// transfer to roughly half the requested length (minimum 1 byte) —
+	// legal at the io.Reader contract level, so it stresses every
+	// read-loop's partial-read handling without erroring.
+	ShortReads float64
+
+	// ShortWrites is the per-write probability of fragmenting the
+	// write: half the buffer goes out, then FragmentGap elapses, then
+	// the rest. The peer observes a torn frame boundary mid-payload
+	// (and, with a long FragmentGap, a client frozen holding a
+	// half-written frame). The write still reports full success, so
+	// writers that cannot handle partial counts survive.
+	ShortWrites float64
+	// FragmentGap is the pause inside a fragmented write (default 1ms).
+	FragmentGap time.Duration
+
+	// ResetProb is the per-write probability of a mid-frame reset: half
+	// the buffer is written, then the connection is closed and the
+	// write returns ErrInjected. The peer sees a truncated frame.
+	ResetProb float64
+
+	// ResetAfterReadBytes / ResetAfterWriteBytes cut the connection
+	// deterministically once its cumulative read (resp. written) byte
+	// count reaches the bound: the operation transfers up to the bound,
+	// closes the connection, and returns ErrInjected. 0 disables. These
+	// are the scheduling knobs unit tests use to land a reset at an
+	// exact byte offset (e.g. after the first byte of a response).
+	ResetAfterReadBytes, ResetAfterWriteBytes int64
+
+	// StallProb is the per-read probability of a full stall: the read
+	// sleeps StallFor before proceeding (waking early only if the
+	// connection is closed). Models a frozen client or a blackholed
+	// path; the peer's own deadlines are its only defense.
+	StallProb float64
+	// StallFor is the stall duration (default 1s when StallProb > 0).
+	StallFor time.Duration
+}
+
+// active reports whether any fault class is armed.
+func (f Faults) active() bool {
+	return f.Latency > 0 || f.ShortReads > 0 || f.ShortWrites > 0 ||
+		f.ResetProb > 0 || f.ResetAfterReadBytes > 0 || f.ResetAfterWriteBytes > 0 ||
+		f.StallProb > 0
+}
+
+// Counters aggregates the faults an Injector actually injected —
+// chaos runs report them so "the schedule never fired" is
+// distinguishable from "the system shrugged everything off".
+type Counters struct {
+	Conns       uint64 // connections wrapped
+	Delays      uint64 // operations delayed by Latency
+	ShortReads  uint64 // reads truncated
+	ShortWrites uint64 // writes truncated
+	Resets      uint64 // injected connection resets
+	Stalls      uint64 // reads stalled
+}
+
+// Injector wraps connections with a shared, live-swappable fault
+// schedule and aggregates fault counters across them. Swapping the
+// schedule with Set takes effect immediately on every wrapped
+// connection (each operation re-reads it), which is how a chaos run
+// flips from its storm phase to its recovery phase without churning
+// connections.
+type Injector struct {
+	faults atomic.Pointer[Faults]
+	connID atomic.Int64
+
+	conns       atomic.Uint64
+	delays      atomic.Uint64
+	shortReads  atomic.Uint64
+	shortWrites atomic.Uint64
+	resets      atomic.Uint64
+	stalls      atomic.Uint64
+}
+
+// NewInjector returns an Injector applying f to every connection it
+// wraps until Set replaces the schedule.
+func NewInjector(f Faults) *Injector {
+	in := &Injector{}
+	in.faults.Store(&f)
+	return in
+}
+
+// Set replaces the schedule; in-flight connections observe the new one
+// on their next operation. Set(Faults{}) clears all faults.
+func (in *Injector) Set(f Faults) { in.faults.Store(&f) }
+
+// Faults returns the current schedule.
+func (in *Injector) Faults() Faults { return *in.faults.Load() }
+
+// Counters snapshots the injected-fault totals.
+func (in *Injector) Counters() Counters {
+	return Counters{
+		Conns:       in.conns.Load(),
+		Delays:      in.delays.Load(),
+		ShortReads:  in.shortReads.Load(),
+		ShortWrites: in.shortWrites.Load(),
+		Resets:      in.resets.Load(),
+		Stalls:      in.stalls.Load(),
+	}
+}
+
+// Wrap returns c with the injector's schedule applied. The wrapped
+// connection derives its deterministic stream from the schedule seed
+// and its wrap order.
+func (in *Injector) Wrap(c net.Conn) net.Conn {
+	in.conns.Add(1)
+	id := in.connID.Add(1)
+	fc := &Conn{Conn: c, in: in, closed: make(chan struct{})}
+	// Independent read- and write-side streams: Read and Write may run
+	// concurrently (a proxy pumps each direction from its own
+	// goroutine), and sharing one stream would make fault placement
+	// depend on goroutine interleaving — the opposite of deterministic.
+	seed := uint64(in.Faults().Seed) ^ (uint64(id) * 0x9E3779B97F4A7C15)
+	fc.readRNG = splitmix(seed)
+	fc.writeRNG = splitmix(seed ^ 0xD1B54A32D192ED03)
+	return fc
+}
+
+// Wrap applies a fixed schedule to a single connection — the one-off
+// form unit tests use. Counters are still kept (on a private
+// injector); retrieve them by wrapping through NewInjector instead if
+// they matter.
+func Wrap(c net.Conn, f Faults) net.Conn {
+	return NewInjector(f).Wrap(c)
+}
+
+// Listen returns ln with every accepted connection wrapped by the
+// injector — the in-process server-side form: a server under test
+// accepts through it and its clients' traffic is faulted without the
+// clients cooperating.
+func (in *Injector) Listen(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Wrap(c), nil
+}
+
+// Conn is a net.Conn with the injector's schedule applied to every
+// Read and Write. Deadline and address methods delegate untouched.
+type Conn struct {
+	net.Conn
+	in *Injector
+
+	readRNG, writeRNG xorshift
+
+	readBytes, writeBytes atomic.Int64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Read applies, in order: stall, latency, deterministic byte-bound
+// reset, then short-read truncation of the buffer handed down.
+func (c *Conn) Read(b []byte) (int, error) {
+	f := c.in.faults.Load()
+	if f.StallProb > 0 && c.readRNG.chance(f.StallProb) {
+		c.in.stalls.Add(1)
+		if !c.sleep(f.stallFor()) {
+			return 0, ErrInjected
+		}
+	}
+	if !c.delay(f, &c.readRNG) {
+		return 0, ErrInjected
+	}
+	if f.ResetAfterReadBytes > 0 {
+		left := f.ResetAfterReadBytes - c.readBytes.Load()
+		if left <= 0 {
+			c.reset()
+			return 0, ErrInjected
+		}
+		if int64(len(b)) > left {
+			// Transfer up to the bound so the cut is mid-frame at an
+			// exact offset, then fail on the next call.
+			b = b[:left]
+		}
+	}
+	if f.ShortReads > 0 && len(b) > 1 && c.readRNG.chance(f.ShortReads) {
+		c.in.shortReads.Add(1)
+		b = b[:(len(b)+1)/2]
+	}
+	n, err := c.Conn.Read(b)
+	c.readBytes.Add(int64(n))
+	return n, err
+}
+
+// Write applies latency, then either a probabilistic mid-frame reset,
+// a deterministic byte-bound reset, or a short-write truncation. A
+// reset transfers a prefix first — the peer sees a torn frame, not a
+// clean boundary.
+func (c *Conn) Write(b []byte) (int, error) {
+	f := c.in.faults.Load()
+	if !c.delay(f, &c.writeRNG) {
+		return 0, ErrInjected
+	}
+	if f.ResetProb > 0 && c.writeRNG.chance(f.ResetProb) {
+		n, _ := c.Conn.Write(b[:len(b)/2])
+		c.writeBytes.Add(int64(n))
+		c.reset()
+		return n, ErrInjected
+	}
+	if f.ResetAfterWriteBytes > 0 {
+		left := f.ResetAfterWriteBytes - c.writeBytes.Load()
+		if left <= 0 {
+			c.reset()
+			return 0, ErrInjected
+		}
+		if int64(len(b)) > left {
+			n, _ := c.Conn.Write(b[:left])
+			c.writeBytes.Add(int64(n))
+			c.reset()
+			return n, ErrInjected
+		}
+	}
+	if f.ShortWrites > 0 && len(b) > 1 && c.writeRNG.chance(f.ShortWrites) {
+		c.in.shortWrites.Add(1)
+		half := (len(b) + 1) / 2
+		n, err := c.Conn.Write(b[:half])
+		c.writeBytes.Add(int64(n))
+		if err != nil {
+			return n, err
+		}
+		if !c.sleep(f.fragmentGap()) {
+			return n, ErrInjected
+		}
+		m, err := c.Conn.Write(b[half:])
+		c.writeBytes.Add(int64(m))
+		return n + m, err
+	}
+	n, err := c.Conn.Write(b)
+	c.writeBytes.Add(int64(n))
+	return n, err
+}
+
+// Close closes the underlying connection and wakes any in-flight
+// injected sleep.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.Conn.Close()
+	})
+	return err
+}
+
+// reset is an injected connection failure: counted, then closed so the
+// peer observes it too.
+func (c *Conn) reset() {
+	c.in.resets.Add(1)
+	c.Close()
+}
+
+// delay sleeps the schedule's latency draw; false means the connection
+// closed mid-sleep.
+func (c *Conn) delay(f *Faults, rng *xorshift) bool {
+	if f.Latency <= 0 {
+		return true
+	}
+	c.in.delays.Add(1)
+	return c.sleep(time.Duration(rng.next() % uint64(f.Latency)))
+}
+
+// sleep waits d, returning early (false) when the connection closes.
+func (c *Conn) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closed:
+		return false
+	}
+}
+
+func (f *Faults) stallFor() time.Duration {
+	if f.StallFor > 0 {
+		return f.StallFor
+	}
+	return time.Second
+}
+
+func (f *Faults) fragmentGap() time.Duration {
+	if f.FragmentGap > 0 {
+		return f.FragmentGap
+	}
+	return time.Millisecond
+}
+
+// xorshift is the per-side deterministic stream. Each side of a Conn
+// owns one and is driven by a single goroutine, so no synchronization.
+type xorshift uint64
+
+func splitmix(seed uint64) xorshift {
+	// One splitmix64 step decorrelates consecutive connection ids into
+	// well-spread xorshift states.
+	z := seed + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return xorshift(z)
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// chance draws one event with probability p.
+func (x *xorshift) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return float64(x.next()>>11)/float64(1<<53) < p
+}

@@ -43,6 +43,9 @@ const (
 	KindDelete
 	// KindVersion answers the server version string.
 	KindVersion
+	// KindStats answers a "STAT <name> <value>" dump then END — the
+	// wire-visible Stats snapshot (admission cap, shed counters, …).
+	KindStats
 	// KindQuit closes the connection.
 	KindQuit
 )
@@ -190,6 +193,11 @@ func (p *Parser) ParseRequest(req *Request) error {
 		return nil
 	case "version":
 		req.Kind = KindVersion
+		return nil
+	case "stats":
+		// Sub-arguments (stats items, stats slabs, …) are accepted and
+		// ignored: one unified dump.
+		req.Kind = KindStats
 		return nil
 	case "quit":
 		req.Kind = KindQuit

@@ -22,6 +22,8 @@ func TestParseWellFormed(t *testing.T) {
 		"delete k noreply\r\n" +
 		"delete k 0 noreply\r\n" +
 		"version\r\n" +
+		"stats\r\n" +
+		"stats items\r\n" +
 		"quit\r\n")
 	var r Request
 	expect := func(step string, check func() bool) {
@@ -44,6 +46,8 @@ func TestParseWellFormed(t *testing.T) {
 	expect("delete noreply", func() bool { return r.Kind == KindDelete && r.NoReply })
 	expect("delete historical", func() bool { return r.Kind == KindDelete && r.NoReply })
 	expect("version", func() bool { return r.Kind == KindVersion })
+	expect("stats", func() bool { return r.Kind == KindStats })
+	expect("stats with ignored args", func() bool { return r.Kind == KindStats })
 	expect("quit", func() bool { return r.Kind == KindQuit })
 	if err := p.ParseRequest(&r); err != io.EOF {
 		t.Fatalf("want io.EOF at end, got %v", err)
@@ -62,7 +66,6 @@ func TestParseMalformed(t *testing.T) {
 	}{
 		{"empty line", "\r\n", "ERROR", false},
 		{"unknown command", "frobnicate x\r\n", "ERROR", false},
-		{"stats unimplemented", "stats\r\n", "ERROR", false},
 		{"get without keys", "get\r\n", "CLIENT_ERROR bad command line format", false},
 		{"get key too long", "get " + strings.Repeat("k", 251) + "\r\n", "CLIENT_ERROR bad command line format", false},
 		{"get key control char", "get a\x01b\r\n", "CLIENT_ERROR bad command line format", false},

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"sync"
@@ -52,13 +53,70 @@ type Config struct {
 	WriteTimeout time.Duration
 	// Version is the string answered to the version command.
 	Version string
+
+	// AdaptiveAdmission makes the per-cluster admission cap track the
+	// sampled combining occupancy with hysteresis: sustained overload
+	// halves the effective cap (idle procs are withheld, new clients
+	// wait in the listen backlog), sustained clearance restores it one
+	// step at a time, and acute overload past shedMultiplier×
+	// BusyThreshold sheds flushes with "SERVER_ERROR busy" (see
+	// admission.go and DESIGN.md §8). Requires a lock family with an
+	// occupancy estimator (comb-a-*); inert otherwise — check
+	// OccupancyTracked.
+	AdaptiveAdmission bool
+	// BusyThreshold is the sampled per-shard occupancy at which the
+	// server counts a tick as overloaded. Default: half the topology's
+	// proc count (at least 2) — half the machine piling on one shard's
+	// combiner is congestion by any measure.
+	BusyThreshold int
+	// BusyReadTimeout replaces ReadTimeout and bounds WriteTimeout
+	// while shedding is engaged — the escalated per-op deadline that
+	// evicts slow or stalled clients during overload instead of letting
+	// them pin a Proc for the full idle timeout. Acknowledged writes
+	// are never dropped by an eviction: the flush before close still
+	// runs. Default 1s.
+	BusyReadTimeout time.Duration
+	// ConnMemoryBytes is the hard per-connection decode-memory bound:
+	// a pipelined set run flushes early once its buffered values reach
+	// it, and get responses chunk so response staging stays under it.
+	// Raised to MaxValueBytes+4 if set lower (one op must fit).
+	// Default 8 MiB.
+	ConnMemoryBytes int
+	// Broken selects a deliberately defective server behavior for
+	// harness validation — the chaos twin of locktest's broken locks.
+	// Production configs leave it BrokenNone.
+	Broken BrokenMode
 }
+
+// BrokenMode enumerates deliberate contract violations used to prove
+// the chaos harness catches them (internal/soak's self-tests feed a
+// Broken server to the soak verifier and assert it objects), mirroring
+// locktest's broken-lock self-test discipline.
+type BrokenMode int
+
+const (
+	// BrokenNone is the production behavior.
+	BrokenNone BrokenMode = iota
+	// BrokenDropAckedWrite answers STORED for every fourth set without
+	// applying it — the exact violation the shedding contract forbids
+	// (a shed must never be acknowledged). A soak harness that fails to
+	// flag a run against this server is not testing anything.
+	BrokenDropAckedWrite
+)
 
 const (
 	// DefaultMaxValueBytes caps set values unless configured.
 	DefaultMaxValueBytes = 64 << 10
-	defaultReadTimeout   = 2 * time.Minute
-	defaultWriteTimeout  = 30 * time.Second
+	// DefaultBusyReadTimeout is the escalated per-op deadline while
+	// shedding is engaged.
+	DefaultBusyReadTimeout = time.Second
+	// DefaultConnMemoryBytes bounds one connection's decode staging:
+	// generous enough that the default MaxBatch×MaxValueBytes response
+	// window fits (so batching amortization is untouched), small enough
+	// that a thousand hostile connections cannot balloon the heap.
+	DefaultConnMemoryBytes = 8 << 20
+	defaultReadTimeout     = 2 * time.Minute
+	defaultWriteTimeout    = 30 * time.Second
 	// DefaultVersion is the version string served by default.
 	DefaultVersion = "repro-kvserver 1.0"
 	// readerBufBytes is the per-connection decode buffer, which is
@@ -94,6 +152,18 @@ func (c *Config) setDefaults() error {
 	if c.Version == "" {
 		c.Version = DefaultVersion
 	}
+	if c.BusyThreshold <= 0 {
+		c.BusyThreshold = max(2, c.Topo.MaxProcs()/2)
+	}
+	if c.BusyReadTimeout <= 0 {
+		c.BusyReadTimeout = DefaultBusyReadTimeout
+	}
+	if c.ConnMemoryBytes <= 0 {
+		c.ConnMemoryBytes = DefaultConnMemoryBytes
+	}
+	if c.ConnMemoryBytes < c.MaxValueBytes+4 {
+		c.ConnMemoryBytes = c.MaxValueBytes + 4
+	}
 	return nil
 }
 
@@ -115,11 +185,31 @@ type Stats struct {
 	// MaxOccupancy is the peak per-shard combining-executor occupancy
 	// estimate (locks.EstimateOccupancy behind Store.ShardOccupancy)
 	// sampled while the server ran: how many procs were crowding one
-	// shard's combiner at the worst moment, the signal the ROADMAP's
-	// occupancy-driven admission item wants at the front door. -1 when
-	// no shard's lock exposes an estimator (everything but the
-	// adaptive-combining comb-a-* family).
+	// shard's combiner at the worst moment — under AdaptiveAdmission
+	// this is the signal the admission cap and the shed valve react
+	// to. -1 when no shard's lock exposes an estimator (everything but
+	// the adaptive-combining comb-a-* family).
 	MaxOccupancy int
+	// SheddedOps counts operations refused with "SERVER_ERROR busy"
+	// while the shed valve was engaged (never acknowledged, never
+	// applied — a multi-key get counts one per key).
+	SheddedOps uint64
+	// EvictedConns counts connections cut by a per-op deadline outside
+	// a drain — idle clients at ReadTimeout, stalled or slow clients at
+	// the escalated BusyReadTimeout while shedding.
+	EvictedConns uint64
+	// ClientGone counts connections the CLIENT broke mid-frame (a
+	// disconnect inside a set payload, a reset mid-request) — a
+	// network/client fault, distinct from BadRequests (malformed but
+	// complete frames, a protocol fault). Chaos runs use the split to
+	// tell injected faults from server bugs.
+	ClientGone uint64
+	// AdmissionCap is the current effective per-cluster admission cap
+	// (minimum across clusters); AdmissionCapFull is the configured
+	// cap it recovers toward; AdmissionCapLow is the low-water mark —
+	// the deepest shrink the overload forced. Cap == Full everywhere
+	// and Low == Full means admission never shrank.
+	AdmissionCap, AdmissionCapFull, AdmissionCapLow int
 	// PerClusterAccepted is Accepted split by the accepting cluster.
 	PerClusterAccepted []uint64
 }
@@ -150,17 +240,30 @@ type Server struct {
 	acceptWG sync.WaitGroup
 	connWG   sync.WaitGroup
 
-	accepted    atomic.Uint64
-	active      atomic.Int64
-	occMax      atomic.Int64
-	samplerWG   sync.WaitGroup
-	gets        atomic.Uint64
-	sets        atomic.Uint64
-	deletes     atomic.Uint64
-	hits        atomic.Uint64
-	flushes     atomic.Uint64
-	badRequests atomic.Uint64
-	perCluster  []atomic.Uint64
+	accepted     atomic.Uint64
+	active       atomic.Int64
+	occMax       atomic.Int64
+	samplerWG    sync.WaitGroup
+	gets         atomic.Uint64
+	sets         atomic.Uint64
+	deletes      atomic.Uint64
+	hits         atomic.Uint64
+	flushes      atomic.Uint64
+	badRequests  atomic.Uint64
+	sheddedOps   atomic.Uint64
+	evictedConns atomic.Uint64
+	clientGone   atomic.Uint64
+	perCluster   []atomic.Uint64
+
+	// Adaptive admission state (see admission.go). adm and capLow are
+	// shared; the tick counters belong to the sampler goroutine alone.
+	adm        []admission
+	capLow     atomic.Int64
+	shedFlag   atomic.Bool
+	occTracked bool
+	overTicks  int
+	underTicks int
+	shedTicks  int
 }
 
 // New validates cfg and builds a Server (not yet listening).
@@ -188,12 +291,24 @@ func New(cfg Config) (*Server, error) {
 			pool <- p
 		}
 	}
+	s.adm = make([]admission, len(s.pools))
+	low := 1 << 30
 	for c, pool := range s.pools {
 		if len(pool) == 0 {
 			return nil, fmt.Errorf("server: cluster %d has no procs to serve connections", c)
 		}
+		s.adm[c].full = len(pool)
+		s.adm[c].cap = len(pool)
+		low = min(low, len(pool))
 	}
+	s.capLow.Store(int64(low))
 	s.occMax.Store(-1)
+	for i := 0; i < cfg.Store.NumShards(); i++ {
+		if _, ok := cfg.Store.ShardOccupancy(i); ok {
+			s.occTracked = true
+			break
+		}
+	}
 	return s, nil
 }
 
@@ -204,21 +319,16 @@ const occupancySampleInterval = 25 * time.Millisecond
 
 // startOccupancySampler begins the background occupancy gauge when at
 // least one shard's lock exposes an estimate (the adaptive combining
-// executors); stores without one keep the gauge at -1 and pay
-// nothing. The sampler keeps the peak per-shard estimate seen across
-// the server's lifetime and stops when the server begins draining.
+// executors); stores without one keep the gauge at -1, pay nothing,
+// and leave AdaptiveAdmission inert. Each tick feeds the max per-shard
+// estimate to noteOccupancy, which keeps the lifetime peak and — under
+// AdaptiveAdmission — drives the cap and shed hysteresis. The sampler
+// stops when the server begins draining.
 func (s *Server) startOccupancySampler() {
-	n := s.store.NumShards()
-	tracked := false
-	for i := 0; i < n; i++ {
-		if _, ok := s.store.ShardOccupancy(i); ok {
-			tracked = true
-			break
-		}
-	}
-	if !tracked {
+	if !s.occTracked {
 		return
 	}
+	n := s.store.NumShards()
 	s.samplerWG.Add(1)
 	go func() {
 		defer s.samplerWG.Done()
@@ -229,11 +339,13 @@ func (s *Server) startOccupancySampler() {
 			case <-s.done:
 				return
 			case <-t.C:
+				peak := 0
 				for i := 0; i < n; i++ {
-					if occ, ok := s.store.ShardOccupancy(i); ok && int64(occ) > s.occMax.Load() {
-						s.occMax.Store(int64(occ))
+					if occ, ok := s.store.ShardOccupancy(i); ok && occ > peak {
+						peak = occ
 					}
 				}
+				s.noteOccupancy(peak)
 			}
 		}
 	}()
@@ -303,7 +415,7 @@ func (s *Server) acceptLoop(ln net.Listener, cluster int, errCh chan<- error) {
 		}
 		c, err := ln.Accept()
 		if err != nil {
-			pool <- p
+			s.releaseProc(cluster, p)
 			select {
 			case <-s.done: // Shutdown closed the listener
 			default:
@@ -318,7 +430,7 @@ func (s *Server) acceptLoop(ln net.Listener, cluster int, errCh chan<- error) {
 		if s.draining {
 			s.mu.Unlock()
 			c.Close()
-			pool <- p
+			s.releaseProc(cluster, p)
 			s.active.Add(-1)
 			return
 		}
@@ -331,7 +443,7 @@ func (s *Server) acceptLoop(ln net.Listener, cluster int, errCh chan<- error) {
 				delete(s.conns, c)
 				s.mu.Unlock()
 				c.Close()
-				pool <- p
+				s.releaseProc(cluster, p)
 				s.active.Add(-1)
 				s.connWG.Done()
 			}()
@@ -401,6 +513,7 @@ func (s *Server) Draining() bool {
 
 // Snapshot returns current statistics.
 func (s *Server) Snapshot() Stats {
+	cur, full := s.admissionCaps()
 	st := Stats{
 		Accepted:           s.accepted.Load(),
 		Active:             uint64(max(s.active.Load(), 0)),
@@ -410,6 +523,12 @@ func (s *Server) Snapshot() Stats {
 		Hits:               s.hits.Load(),
 		Flushes:            s.flushes.Load(),
 		BadRequests:        s.badRequests.Load(),
+		SheddedOps:         s.sheddedOps.Load(),
+		EvictedConns:       s.evictedConns.Load(),
+		ClientGone:         s.clientGone.Load(),
+		AdmissionCap:       cur,
+		AdmissionCapFull:   full,
+		AdmissionCapLow:    int(s.capLow.Load()),
 		MaxOccupancy:       int(s.occMax.Load()),
 		PerClusterAccepted: make([]uint64, len(s.perCluster)),
 	}
@@ -456,8 +575,17 @@ type conn struct {
 	lens  []int
 	found []bool
 
+	// pendingBytes tracks the buffered value bytes of the pending set
+	// run against Config.ConnMemoryBytes — the hard decode-memory
+	// bound; crossing it flushes early.
+	pendingBytes int
+
 	// Local op counters, folded into the server's atomics on close.
-	gets, sets, deletes, hits, flushes, badRequests uint64
+	gets, sets, deletes, hits, flushes, badRequests, shedded uint64
+
+	// brokenCount sequences BrokenDropAckedWrite's every-fourth-set
+	// violation (harness validation only).
+	brokenCount uint64
 
 	numBuf []byte
 }
@@ -506,20 +634,27 @@ func (c *conn) fold() {
 	s.hits.Add(c.hits)
 	s.flushes.Add(c.flushes)
 	s.badRequests.Add(c.badRequests)
-	c.gets, c.sets, c.deletes, c.hits, c.flushes, c.badRequests = 0, 0, 0, 0, 0, 0
+	s.sheddedOps.Add(c.shedded)
+	c.gets, c.sets, c.deletes, c.hits, c.flushes, c.badRequests, c.shedded = 0, 0, 0, 0, 0, 0, 0
 }
 
 func (c *conn) loop() {
 	var req Request
 	for {
 		// Block for the next request, with a fresh per-request read
-		// deadline. Anything already pipelined into the buffer parses
-		// without touching the deadline. The drain check comes after
-		// arming the deadline (see drainFlag's ordering contract): a
-		// draining server answers everything already read, then says
-		// goodbye instead of blocking for more.
+		// deadline — the escalated busy deadline while shedding, so a
+		// stalled client cannot pin a Proc through an overload.
+		// Anything already pipelined into the buffer parses without
+		// touching the deadline. The drain check comes after arming
+		// the deadline (see drainFlag's ordering contract): a draining
+		// server answers everything already read, then says goodbye
+		// instead of blocking for more.
 		if c.par.Buffered() == 0 {
-			c.c.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
+			rt := c.srv.cfg.ReadTimeout
+			if c.srv.shedFlag.Load() {
+				rt = c.srv.cfg.BusyReadTimeout
+			}
+			c.c.SetReadDeadline(time.Now().Add(rt))
 			if c.srv.drainFlag.Load() {
 				c.flushOps()
 				c.finish()
@@ -545,10 +680,14 @@ func (c *conn) loop() {
 			}
 			// Transport error or timeout. During drain a deadline
 			// nudge is the expected wake-up: finish what was read,
-			// answer it, close cleanly. Anything else just closes
-			// (flushing what we owe, best-effort).
+			// answer it, close cleanly. Anything else closes too
+			// (flushing what we owe, best-effort) and is classified:
+			// deadline expiry is an eviction, a client breaking the
+			// connection mid-frame is client-gone — a network/client
+			// fault, not a protocol one.
 			c.flushOps()
 			c.finish()
+			c.classifyDisconnect(err)
 			return
 		}
 		switch req.Kind {
@@ -568,6 +707,7 @@ func (c *conn) loop() {
 			c.setVals = append(c.setVals, c.setSlots[i])
 			c.setNoReply = append(c.setNoReply, req.NoReply)
 			c.pending++
+			c.pendingBytes += 4 + len(req.Value)
 		case KindDelete:
 			c.accumulate(KindDelete)
 			c.delKeys = append(c.delKeys, HashKey(req.Keys[0]))
@@ -576,12 +716,15 @@ func (c *conn) loop() {
 		case KindVersion:
 			c.flushOps()
 			c.writeLine("VERSION " + c.srv.cfg.Version)
+		case KindStats:
+			c.flushOps()
+			c.writeStats()
 		case KindQuit:
 			c.flushOps()
 			c.finish()
 			return
 		}
-		if c.pending >= c.sizer.Size() {
+		if c.pending >= c.sizer.Size() || c.pendingBytes >= c.srv.cfg.ConnMemoryBytes {
 			c.flushOps()
 		}
 		if c.par.Buffered() == 0 {
@@ -604,8 +747,39 @@ func (c *conn) accumulate(k Kind) {
 
 // finish flushes the response buffer and lets the caller close.
 func (c *conn) finish() {
-	c.c.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+	c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout()))
 	c.w.Flush()
+}
+
+// writeTimeout is the per-flush write bound: the configured timeout,
+// escalated down to the busy timeout while shedding — a client not
+// draining its responses during an overload is evicted, not waited on.
+func (c *conn) writeTimeout() time.Duration {
+	wt := c.srv.cfg.WriteTimeout
+	if c.srv.shedFlag.Load() && c.srv.cfg.BusyReadTimeout < wt {
+		return c.srv.cfg.BusyReadTimeout
+	}
+	return wt
+}
+
+// classifyDisconnect attributes an abnormal connection end (outside a
+// drain): a deadline expiry is an eviction the server chose, anything
+// else — a reset, a disconnect mid-payload — is the client or network
+// going away. Both are invisible in BadRequests, which counts only
+// well-delivered, malformed frames.
+func (c *conn) classifyDisconnect(err error) {
+	if c.srv.drainFlag.Load() {
+		return // the drain nudge: a goodbye, not a fault
+	}
+	var ne net.Error
+	switch {
+	case err == io.EOF:
+		// Clean close at a request boundary: a normal goodbye.
+	case errors.As(err, &ne) && ne.Timeout():
+		c.srv.evictedConns.Add(1)
+	default:
+		c.srv.clientGone.Add(1)
+	}
 }
 
 // maybeFlushWriter pushes buffered responses before the loop blocks
@@ -614,7 +788,7 @@ func (c *conn) maybeFlushWriter() {
 	if c.w.Buffered() == 0 {
 		return
 	}
-	c.c.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+	c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout()))
 	if err := c.w.Flush(); err != nil {
 		// A dead write side will surface on the next read too; no
 		// separate handling needed.
@@ -630,12 +804,20 @@ func (c *conn) flushOps() {
 	if c.pending == 0 {
 		return
 	}
+	if c.srv.shedFlag.Load() {
+		c.shedOps()
+		return
+	}
 	began := time.Now()
 	switch c.kind {
 	case KindGet:
 		c.flushGets()
 	case KindSet:
-		c.srv.store.MSet(c.p, c.setKeys, c.setVals)
+		setKeys, setVals := c.setKeys, c.setVals
+		if c.srv.cfg.Broken == BrokenDropAckedWrite {
+			setKeys, setVals = c.brokenFilterSets()
+		}
+		c.srv.store.MSet(c.p, setKeys, setVals)
 		c.sets += uint64(len(c.setKeys))
 		c.flushes++
 		for _, noreply := range c.setNoReply {
@@ -666,7 +848,72 @@ func (c *conn) flushOps() {
 	}
 	c.sizer.Observe(c.pending, time.Since(began))
 	c.pending = 0
+	c.pendingBytes = 0
 	c.fold()
+}
+
+// shedOps refuses the pending run: every op that owes a response is
+// answered "SERVER_ERROR busy" — a legal, frame-preserving error line
+// the client can parse, retry, or back off on — and NOTHING touches
+// the store. The two halves of the contract: a shed op is never
+// applied (so no acknowledged-then-dropped write can exist — STORED is
+// only ever written after MSet returns), and the frame stays intact
+// (every non-noreply request still gets exactly one answer line, so
+// the client's pipeline bookkeeping survives the refusal).
+func (c *conn) shedOps() {
+	switch c.kind {
+	case KindGet:
+		for range c.getReqs {
+			c.writeLine("SERVER_ERROR busy")
+		}
+		c.shedded += uint64(len(c.getKeys))
+		c.getKeys = c.getKeys[:0]
+		c.getNames = c.getNames[:0]
+		c.getReqs = c.getReqs[:0]
+	case KindSet:
+		for _, noreply := range c.setNoReply {
+			if !noreply {
+				c.writeLine("SERVER_ERROR busy")
+			}
+		}
+		c.shedded += uint64(len(c.setKeys))
+		c.setKeys = c.setKeys[:0]
+		c.setVals = c.setVals[:0]
+		c.setNoReply = c.setNoReply[:0]
+	case KindDelete:
+		for _, noreply := range c.delNoReply {
+			if !noreply {
+				c.writeLine("SERVER_ERROR busy")
+			}
+		}
+		c.shedded += uint64(len(c.delKeys))
+		c.delKeys = c.delKeys[:0]
+		c.delNoReply = c.delNoReply[:0]
+	}
+	// Deliberately no sizer.Observe: a refusal says nothing about
+	// store service time.
+	c.pending = 0
+	c.pendingBytes = 0
+	c.fold()
+}
+
+// brokenFilterSets implements BrokenDropAckedWrite: every fourth set
+// on the connection is silently removed from the batch about to be
+// applied, while the response path (which iterates setNoReply,
+// untouched) still answers STORED for it. Exists solely so
+// internal/soak's self-test can prove the chaos verifier catches a
+// lost acknowledged write; never reachable in production configs.
+func (c *conn) brokenFilterSets() (keys []uint64, vals [][]byte) {
+	keys, vals = c.setKeys[:0:len(c.setKeys)], c.setVals[:0:len(c.setVals)]
+	for i := range c.setKeys {
+		c.brokenCount++
+		if c.brokenCount%4 == 0 {
+			continue
+		}
+		keys = append(keys, c.setKeys[i])
+		vals = append(vals, c.setVals[i])
+	}
+	return keys, vals
 }
 
 // flushGets answers the accumulated get run. Keys flush through MGet
@@ -678,11 +925,18 @@ func (c *conn) flushOps() {
 // chunks and flushes.
 func (c *conn) flushGets() {
 	mb := c.srv.cfg.MaxBatch
+	valCap := 4 + c.srv.cfg.MaxValueBytes
+	// The response staging for one chunk is chunk×valCap of lazily
+	// grown destination slots; keep that under the connection's decode
+	// memory bound too (the default 8 MiB bound leaves the default
+	// MaxBatch×64KiB window untouched).
+	if byChunk := c.srv.cfg.ConnMemoryBytes / valCap; byChunk < mb {
+		mb = max(1, byChunk)
+	}
 	reqIdx, left := 0, 0
 	if len(c.getReqs) > 0 {
 		left = c.getReqs[0].n
 	}
-	valCap := 4 + c.srv.cfg.MaxValueBytes
 	for start := 0; start < len(c.getKeys); start += mb {
 		end := min(start+mb, len(c.getKeys))
 		n := end - start
@@ -755,4 +1009,47 @@ func (c *conn) writeUint(v uint64) {
 func (c *conn) writeLine(s string) {
 	c.w.WriteString(s)
 	c.w.Write(crlf)
+}
+
+// writeStats answers the stats command: "STAT <name> <value>" lines
+// then END, the memcached shape. This is the wire-visible face of
+// Snapshot — it exists so an external observer (kvsoak's chaos mode)
+// can watch the admission cap shrink and recover without a side
+// channel into the process. Counters folded so far plus this
+// connection's unfolded locals, so a single-connection observer sees
+// its own traffic.
+func (c *conn) writeStats() {
+	c.fold() // fold locals first so the snapshot includes them
+	st := c.srv.Snapshot()
+	stat := func(name string, v uint64) {
+		c.w.WriteString("STAT ")
+		c.w.WriteString(name)
+		c.w.WriteByte(' ')
+		c.writeUint(v)
+		c.w.Write(crlf)
+	}
+	stati := func(name string, v int) {
+		c.w.WriteString("STAT ")
+		c.w.WriteString(name)
+		c.w.WriteByte(' ')
+		c.numBuf = strconv.AppendInt(c.numBuf[:0], int64(v), 10)
+		c.w.Write(c.numBuf)
+		c.w.Write(crlf)
+	}
+	stat("accepted", st.Accepted)
+	stat("active", st.Active)
+	stat("gets", st.Gets)
+	stat("sets", st.Sets)
+	stat("deletes", st.Deletes)
+	stat("hits", st.Hits)
+	stat("flushes", st.Flushes)
+	stat("bad_requests", st.BadRequests)
+	stat("client_gone", st.ClientGone)
+	stat("evicted_conns", st.EvictedConns)
+	stat("shedded_ops", st.SheddedOps)
+	stati("admission_cap", st.AdmissionCap)
+	stati("admission_cap_full", st.AdmissionCapFull)
+	stati("admission_cap_low", st.AdmissionCapLow)
+	stati("max_occupancy", st.MaxOccupancy)
+	c.writeLine("END")
 }
